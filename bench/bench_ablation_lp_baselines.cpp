@@ -1,0 +1,79 @@
+// Ablation (supports §II-A): the pre-GNN link-prediction baseline families —
+// classical heuristics (common neighbors, Jaccard, Adamic-Adar, resource
+// allocation, preferential attachment, Katz) and random-walk embeddings
+// (DeepWalk, node2vec) — against the centralized GNN.
+//
+// Expected shape: neighborhood heuristics are strong on high-clustering
+// graphs; embeddings close part of the gap; the feature-aware GNN wins when
+// features carry community signal.
+#include <cstdio>
+
+#include "common.hpp"
+#include "embedding/deepwalk.hpp"
+#include "eval/heuristics.hpp"
+#include "eval/metrics.hpp"
+#include "eval/ppr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace splpg;
+  bench::EnvDefaults defaults;
+  defaults.datasets = "citeseer,cora";
+  defaults.partitions = "4";
+  const auto env =
+      bench::parse_env(argc, argv, "Ablation: classical LP baselines vs GNN", defaults);
+  if (!env) return 1;
+
+  bench::print_title("ABLATION — CLASSICAL LINK-PREDICTION BASELINES vs GNN",
+                     "supports §II-A: heuristics and network embeddings vs GraphSAGE");
+
+  for (const auto& name : env->datasets) {
+    const auto problem = bench::make_problem(name, *env);
+    std::printf("\n[%s]\n%-24s %8s %8s\n", name.c_str(), "method", "hits", "auc");
+    bench::print_rule();
+
+    // 1. Heuristics (train graph only — no learning).
+    for (const auto& scorer : eval::all_heuristics(problem.split.train_graph)) {
+      const auto result = eval::evaluate_heuristic(*scorer, problem.split);
+      std::printf("%-24s %8.3f %8.3f\n", result.name.c_str(), result.test_hits,
+                  result.test_auc);
+    }
+    {
+      const eval::PersonalizedPageRank ppr(problem.split.train_graph, 0.15, 1e-5);
+      const auto result = eval::evaluate_heuristic(ppr, problem.split);
+      std::printf("%-24s %8.3f %8.3f\n", result.name.c_str(), result.test_hits,
+                  result.test_auc);
+    }
+
+    // 2. Random-walk embeddings: DeepWalk (p=q=1) and node2vec (p=1, q=0.5).
+    for (const double q : {1.0, 0.5}) {
+      embedding::WalkConfig walks;
+      walks.walks_per_node = 6;
+      walks.walk_length = 20;
+      walks.inout_param = q;
+      embedding::SkipGramConfig skipgram;
+      skipgram.dim = 48;
+      skipgram.epochs = 2;
+      util::Rng rng = util::Rng(env->seed).split("embedding", static_cast<std::uint64_t>(q * 10));
+      const embedding::NodeEmbedding model(problem.split.train_graph, walks, skipgram, rng);
+      std::vector<float> positives;
+      for (const auto& [u, v] : problem.split.test_pos) {
+        positives.push_back(static_cast<float>(model.score(u, v)));
+      }
+      std::vector<float> negatives;
+      for (const auto& [u, v] : problem.split.test_neg) {
+        negatives.push_back(static_cast<float>(model.score(u, v)));
+      }
+      const std::size_t k = std::max<std::size_t>(10, problem.split.test_neg.size() / 30);
+      std::printf("%-24s %8.3f %8.3f\n", q == 1.0 ? "deepwalk" : "node2vec(q=0.5)",
+                  eval::hits_at_k(positives, negatives, k), eval::auc(positives, negatives));
+      std::fflush(stdout);
+    }
+
+    // 3. The centralized GNN reference.
+    const auto gnn = bench::run(problem, bench::make_config(*env, core::Method::kCentralized, 1));
+    std::printf("%-24s %8.3f %8.3f\n", "graphsage (centralized)", gnn.test_hits, gnn.test_auc);
+  }
+  std::printf("\nExpected shape: heuristics strong on clustered graphs; the feature-aware GNN\n"
+              "matches or beats structure-only baselines.\n");
+  return 0;
+}

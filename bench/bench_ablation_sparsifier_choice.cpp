@@ -1,0 +1,50 @@
+// Ablation (design-choice validation): effective-resistance importance vs
+// uniform edge sampling inside SpLPG, at the same sampling budget.
+//
+// The paper adopts resistance-proportional sampling for its spectral
+// guarantee (Theorem 1). This bench quantifies what that choice buys over
+// the naive uniform sparsifier when the sparsified copies are used the way
+// SpLPG uses them — as remote negative-sampling substrates.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace splpg;
+  bench::EnvDefaults defaults;
+  defaults.datasets = "citeseer,cora";
+  defaults.partitions = "4,8";
+  const auto env = bench::parse_env(
+      argc, argv, "Ablation: effective-resistance vs uniform sparsification in SpLPG",
+      defaults);
+  if (!env) return 1;
+
+  bench::print_title("ABLATION — SPARSIFIER CHOICE INSIDE SPLPG (GraphSAGE)",
+                     "validates Theorem 1/2 sampling vs a uniform-budget baseline");
+
+  std::printf("%-11s %4s %-22s %8s %8s %14s\n", "dataset", "p", "sparsifier", "hits", "auc",
+              "comm/epoch");
+  bench::print_rule();
+  for (const auto& name : env->datasets) {
+    const auto problem = bench::make_problem(name, *env);
+    for (const auto p : env->partitions) {
+      for (const auto kind : {sparsify::SparsifierKind::kEffectiveResistance,
+                              sparsify::SparsifierKind::kUniform}) {
+        auto config = bench::make_config(*env, core::Method::kSplpg, p);
+        config.sparsifier = kind;
+        const auto result = bench::run(problem, config);
+        std::printf("%-11s %4u %-22s %8.3f %8.3f %14s\n", name.c_str(), p,
+                    kind == sparsify::SparsifierKind::kEffectiveResistance
+                        ? "effective_resistance"
+                        : "uniform",
+                    result.test_hits, result.test_auc,
+                    bench::format_bytes(result.comm.total_bytes() / env->epochs).c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\nExpected shape: comparable comm (same budget); effective-resistance keeps\n"
+              "low-degree/bridge edges, preserving connectivity of the sparsified copies and\n"
+              "matching or beating uniform accuracy.\n");
+  return 0;
+}

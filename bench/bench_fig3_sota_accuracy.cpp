@@ -1,0 +1,47 @@
+// Figure 3: link-prediction accuracy of GraphSAGE trained by the
+// state-of-the-art distributed methods WITHOUT data sharing, versus
+// centralized training.
+//
+// Expected shape (paper): every distributed method degrades clearly below
+// the centralized reference, at every partition count — because workers
+// lose cross-partition edges and can only draw local negatives.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace splpg;
+  const auto env = bench::parse_env(argc, argv,
+                                    "Figure 3: accuracy of SOTA methods (no data sharing)");
+  if (!env) return 1;
+
+  bench::print_title("FIGURE 3 — ACCURACY OF STATE-OF-THE-ART METHODS (GraphSAGE)",
+                     "Fig. 3: centralized vs PSGD-PA / LLCG / RandomTMA / SuperTMA");
+
+  const std::vector<core::Method> methods = {core::Method::kPsgdPa, core::Method::kLlcg,
+                                             core::Method::kRandomTma,
+                                             core::Method::kSuperTma};
+
+  for (const auto& name : env->datasets) {
+    const auto problem = bench::make_problem(name, *env);
+    const auto central =
+        bench::run(problem, bench::make_config(*env, core::Method::kCentralized, 1));
+    std::printf("\n[%s]  centralized: Hits@%zu=%.3f AUC=%.3f\n", name.c_str(), central.eval_k,
+                central.test_hits, central.test_auc);
+    std::printf("%-12s", "method");
+    for (const auto p : env->partitions) std::printf(" | p=%-2u hits   auc   vs-central", p);
+    std::printf("\n");
+    bench::print_rule();
+    for (const auto method : methods) {
+      std::printf("%-12s", core::to_string(method).c_str());
+      for (const auto p : env->partitions) {
+        const auto result = bench::run(problem, bench::make_config(*env, method, p));
+        std::printf(" |     %.3f %.3f    %s", result.test_hits, result.test_auc,
+                    bench::improvement(result.test_auc, central.test_auc).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected shape: all methods below centralized (negative vs-central column).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 4: accuracy AND communication cost of the state-of-the-art methods
+// with the complete data-sharing strategy (the "+" variants).
+//
+// Expected shape (paper): accuracy recovers to the centralized level, but
+// the per-epoch graph-data transfer becomes very large — largest for
+// RandomTMA+ (no locality at all), then SuperTMA+, then PSGD-PA+.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace splpg;
+  const auto env = bench::parse_env(
+      argc, argv, "Figure 4: accuracy + comm cost with complete data sharing");
+  if (!env) return 1;
+
+  bench::print_title("FIGURE 4 — COMPLETE DATA-SHARING STRATEGY (GraphSAGE)",
+                     "Fig. 4: PSGD-PA+ / RandomTMA+ / SuperTMA+ accuracy and comm cost");
+
+  const std::vector<core::Method> methods = {
+      core::Method::kPsgdPaPlus, core::Method::kRandomTmaPlus, core::Method::kSuperTmaPlus};
+
+  for (const auto& name : env->datasets) {
+    const auto problem = bench::make_problem(name, *env);
+    const auto central =
+        bench::run(problem, bench::make_config(*env, core::Method::kCentralized, 1));
+    std::printf("\n[%s]  centralized: Hits@%zu=%.3f AUC=%.3f (comm = 0)\n", name.c_str(),
+                central.eval_k, central.test_hits, central.test_auc);
+    std::printf("%-13s %4s %8s %8s %11s %14s\n", "method", "p", "hits", "auc", "vs-central",
+                "comm/epoch");
+    bench::print_rule();
+    for (const auto method : methods) {
+      for (const auto p : env->partitions) {
+        const auto result = bench::run(problem, bench::make_config(*env, method, p));
+        std::printf("%-13s %4u %8.3f %8.3f %11s %14s\n", core::to_string(method).c_str(), p,
+                    result.test_hits, result.test_auc,
+                    bench::improvement(result.test_auc, central.test_auc).c_str(),
+                    bench::format_bytes(static_cast<std::uint64_t>(
+                                            result.comm.total_bytes() / env->epochs))
+                        .c_str());
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape: vs-central ~ 0%% (accuracy recovered) and comm cost large —\n"
+      "the paper's 'excessively high' transfer volume. At small scale the three '+'\n"
+      "methods cost about the same (each mini-batch's k-hop expansion touches most of\n"
+      "the graph regardless of partition locality); differences grow with --scale.\n");
+  return 0;
+}

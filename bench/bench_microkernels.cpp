@@ -1,0 +1,100 @@
+// Microbenchmarks (google-benchmark) for the hot paths underneath the
+// training loop: GEMM, alias-table sampling, the fanout sampler, the
+// sparsifier, and the METIS-like partitioner.
+#include <benchmark/benchmark.h>
+
+#include "data/generators.hpp"
+#include "partition/partitioner.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "sparsify/sparsifier.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace splpg;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  tensor::Matrix a(n, n);
+  tensor::Matrix b(n, n);
+  for (float& x : a.data()) x = static_cast<float>(rng.uniform());
+  for (float& x : b.data()) x = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (double& w : weights) w = rng.uniform() + 0.01;
+  const util::AliasTable table{std::span<const double>(weights)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(1000)->Arg(100000);
+
+data::SbmParams bench_graph_params(std::int64_t nodes) {
+  data::SbmParams params;
+  params.num_nodes = static_cast<graph::NodeId>(nodes);
+  params.num_edges = static_cast<graph::EdgeId>(nodes) * 6;
+  params.num_communities = 16;
+  return params;
+}
+
+void BM_NeighborSampler(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto graph = data::generate_sbm(bench_graph_params(state.range(0)), rng);
+  sampling::GraphProvider provider(graph);
+  const sampling::NeighborSampler sampler({5, 10, 25});
+  std::vector<graph::NodeId> seeds(128);
+  for (auto& s : seeds) s = static_cast<graph::NodeId>(rng.uniform_u64(graph.num_nodes()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(provider, seeds, rng));
+  }
+}
+BENCHMARK(BM_NeighborSampler)->Arg(2000)->Arg(20000);
+
+void BM_Sparsifier(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto graph = data::generate_sbm(bench_graph_params(state.range(0)), rng);
+  const sparsify::EffectiveResistanceSparsifier sparsifier(0.15);
+  for (auto _ : state) {
+    util::Rng local(5);
+    benchmark::DoNotOptimize(sparsifier.sparsify(graph, local));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(graph.num_edges()));
+}
+BENCHMARK(BM_Sparsifier)->Arg(2000)->Arg(20000);
+
+void BM_MetisLikePartition(benchmark::State& state) {
+  util::Rng rng(6);
+  const auto graph = data::generate_sbm(bench_graph_params(state.range(0)), rng);
+  const partition::MetisLikePartitioner partitioner;
+  for (auto _ : state) {
+    util::Rng local(7);
+    benchmark::DoNotOptimize(partitioner.partition(graph, 8, local));
+  }
+}
+BENCHMARK(BM_MetisLikePartition)->Arg(2000)->Arg(20000);
+
+void BM_HasEdge(benchmark::State& state) {
+  util::Rng rng(8);
+  const auto graph = data::generate_sbm(bench_graph_params(20000), rng);
+  for (auto _ : state) {
+    const auto u = static_cast<graph::NodeId>(rng.uniform_u64(graph.num_nodes()));
+    const auto v = static_cast<graph::NodeId>(rng.uniform_u64(graph.num_nodes()));
+    benchmark::DoNotOptimize(graph.has_edge(u, v));
+  }
+}
+BENCHMARK(BM_HasEdge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Table II: running time of SpLPG's effective-resistance-based graph
+// sparsification, per dataset and partition count.
+//
+// Expected shape (paper): seconds for small graphs, growing roughly linearly
+// with edge count, and only mildly with the number of partitions (cross
+// edges appear in two partition subgraphs).
+#include <cstdio>
+
+#include "common.hpp"
+#include "partition/partitioner.hpp"
+#include "sparsify/sparsifier.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace splpg;
+  bench::EnvDefaults defaults;
+  defaults.datasets = "citeseer,cora,actor,chameleon,pubmed";
+  defaults.partitions = "4,8,16";
+  const auto env = bench::parse_env(argc, argv, "Table II: sparsification running time", defaults);
+  if (!env) return 1;
+
+  bench::print_title("TABLE II — SPARSIFICATION RUNNING TIME (seconds)",
+                     "Table II: effective-resistance sparsification of all partitions");
+
+  std::printf("%-11s %12s |", "dataset", "edges");
+  for (const auto p : env->partitions) std::printf("   p=%-3u", p);
+  std::printf("\n");
+  bench::print_rule();
+
+  for (const auto& name : env->datasets) {
+    const auto dataset = data::make_dataset(name, env->scale, env->seed);
+    std::printf("%-11s %12llu |", name.c_str(),
+                static_cast<unsigned long long>(dataset.graph.num_edges()));
+    for (const auto p : env->partitions) {
+      util::Rng rng = util::Rng(env->seed).split("table2", p);
+      const partition::MetisLikePartitioner partitioner;
+      const auto parts = partitioner.partition(dataset.graph, p, rng);
+
+      const sparsify::EffectiveResistanceSparsifier sparsifier(env->alpha);
+      const util::Stopwatch watch;
+      std::vector<sparsify::SparsifyStats> stats;
+      (void)sparsifier.sparsify_partitions(dataset.graph, parts.assignment, p, rng, &stats);
+      std::printf(" %7.3f", watch.seconds());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: time grows with |E|, mildly with p (paper: seconds on small\n"
+              "graphs, ~10 minutes on PPA at full scale).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared harness for the per-table / per-figure benchmark binaries.
+//
+// Every bench binary accepts the same core flags (--scale, --seed, --epochs,
+// --datasets, --partitions, --hidden, ...) so the whole evaluation can be
+// re-run at larger scale with a single knob. Defaults are sized to finish
+// each binary in roughly a minute on one CPU core; the paper-scale settings
+// are documented in EXPERIMENTS.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "sampling/edge_split.hpp"
+#include "util/flags.hpp"
+
+namespace splpg::bench {
+
+struct Env {
+  double scale = 0.12;
+  std::uint64_t seed = 1;
+  std::uint32_t epochs = 6;
+  std::uint32_t hidden = 32;
+  std::uint32_t layers = 3;
+  std::uint32_t max_batches = 6;
+  double alpha = 0.15;
+  std::vector<std::string> datasets;
+  std::vector<std::uint32_t> partitions;
+};
+
+struct EnvDefaults {
+  std::string datasets = "citeseer,cora,chameleon";
+  std::string partitions = "4,8";
+  std::uint32_t epochs = 10;
+  double scale = 0.12;
+};
+
+/// Defines + parses the common flags. Returns nullopt on --help / bad args
+/// (caller should exit 0/1 accordingly).
+[[nodiscard]] std::optional<Env> parse_env(int argc, char** argv,
+                                           const std::string& description,
+                                           const EnvDefaults& defaults = {});
+
+struct Problem {
+  data::Dataset dataset;
+  sampling::LinkSplit split;
+};
+
+/// Dataset + 80/10/10 split, deterministic in (name, env.scale, env.seed).
+[[nodiscard]] Problem make_problem(const std::string& name, const Env& env);
+
+/// TrainConfig prefilled from the env (SAGE + MLP predictor by default).
+[[nodiscard]] core::TrainConfig make_config(const Env& env, core::Method method,
+                                            std::uint32_t partitions,
+                                            nn::GnnKind gnn = nn::GnnKind::kSage);
+
+/// Runs training with a one-line progress log on stderr.
+[[nodiscard]] core::TrainResult run(const Problem& problem, const core::TrainConfig& config);
+
+// ---- output formatting ----
+
+void print_title(const std::string& title, const std::string& paper_reference);
+void print_rule();
+
+/// "+41.3%" style relative improvement of `ours` over `baseline`
+/// (higher-is-better quantities; pass inverted=true for costs).
+[[nodiscard]] std::string improvement(double ours, double baseline, bool inverted = false);
+
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace splpg::bench

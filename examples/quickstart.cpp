@@ -1,0 +1,65 @@
+// Quickstart: train a GraphSAGE link predictor with SpLPG on a synthetic
+// citation-style graph and compare it against centralized training.
+//
+//   ./example_quickstart [--scale=0.2] [--epochs=8] [--partitions=4]
+//
+// Walks through the full public API: dataset generation, edge splitting,
+// training (centralized and SpLPG), and evaluation.
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "sampling/edge_split.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace splpg;
+
+  util::Flags flags("SpLPG quickstart: centralized vs SpLPG on a Cora-like graph");
+  flags.define("scale", 0.2, "dataset scale factor in (0, 1]");
+  flags.define("epochs", static_cast<std::int64_t>(8), "training epochs");
+  flags.define("partitions", static_cast<std::int64_t>(4), "number of workers/partitions");
+  flags.define("hidden", static_cast<std::int64_t>(64), "hidden dimension");
+  flags.define("seed", static_cast<std::int64_t>(1), "run seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  // 1. Make a Cora-like synthetic dataset (community-structured graph +
+  //    community-correlated features).
+  const data::Dataset dataset = data::make_dataset("cora", flags.get_double("scale"), seed);
+  std::printf("dataset: %s  nodes=%u  edges=%llu  features=%u\n", dataset.name.c_str(),
+              dataset.graph.num_nodes(),
+              static_cast<unsigned long long>(dataset.graph.num_edges()),
+              dataset.features.dim());
+
+  // 2. 80/10/10 edge split with fixed global-uniform eval negatives.
+  util::Rng split_rng = util::Rng(seed).split("split");
+  const sampling::LinkSplit split =
+      sampling::split_edges(dataset.graph, sampling::SplitOptions{}, split_rng);
+  std::printf("split: train=%zu val=%zu test=%zu (neg x3)\n", split.train_pos.size(),
+              split.val_pos.size(), split.test_pos.size());
+
+  // 3. Configure a 3-layer GraphSAGE with a 3-layer MLP edge predictor.
+  core::TrainConfig config;
+  config.model.gnn = nn::GnnKind::kSage;
+  config.model.predictor = nn::PredictorKind::kMlp;
+  config.model.hidden_dim = static_cast<std::size_t>(flags.get_int("hidden"));
+  config.epochs = static_cast<std::uint32_t>(flags.get_int("epochs"));
+  config.batch_size = dataset.batch_size;
+  config.num_partitions = static_cast<std::uint32_t>(flags.get_int("partitions"));
+  config.sync = dist::SyncMode::kGradientAveraging;
+  config.seed = seed;
+
+  // 4. Train centralized (the accuracy reference), then SpLPG.
+  for (const core::Method method : {core::Method::kCentralized, core::Method::kSplpg}) {
+    config.method = method;
+    const core::TrainResult result = core::train_link_prediction(split, dataset.features, config);
+    std::printf(
+        "%-12s  Hits@%zu=%.3f  AUC=%.3f  comm/epoch=%.3f MB  sparsify=%.2fs  train=%.1fs\n",
+        core::to_string(method).c_str(), result.eval_k, result.test_hits, result.test_auc,
+        result.comm_gigabytes_per_epoch * 1024.0, result.sparsify_seconds,
+        result.train_seconds);
+  }
+  return 0;
+}

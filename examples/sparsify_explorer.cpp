@@ -1,0 +1,72 @@
+// Sparsification explorer: walks through the effective-resistance machinery
+// on a small graph — exact resistances via the Laplacian pseudo-inverse,
+// the Theorem 2 degree bounds, and what the sampler keeps at different
+// sparsification levels.
+//
+//   ./example_sparsify_explorer [--nodes=120] [--edges=800]
+#include <algorithm>
+#include <cstdio>
+
+#include "data/generators.hpp"
+#include "graph/algorithms.hpp"
+#include "sparsify/effective_resistance.hpp"
+#include "sparsify/sparsifier.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace splpg;
+
+  util::Flags flags("Explore effective-resistance sparsification on a small graph");
+  flags.define("nodes", static_cast<std::int64_t>(120), "graph size");
+  flags.define("edges", static_cast<std::int64_t>(800), "edge count");
+  flags.define("seed", static_cast<std::int64_t>(7), "seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  data::SbmParams params;
+  params.num_nodes = static_cast<graph::NodeId>(flags.get_int("nodes"));
+  params.num_edges = static_cast<graph::EdgeId>(flags.get_int("edges"));
+  params.num_communities = 4;
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto graph = data::generate_sbm(params, rng);
+  std::printf("graph: %u nodes, %llu edges, clustering=%.3f\n", graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph::global_clustering_coefficient(graph));
+
+  // 1. Exact vs approximate effective resistance.
+  const auto exact = sparsify::exact_effective_resistance(graph);
+  const auto proxy = sparsify::approx_effective_resistance(graph);
+  const double gamma = sparsify::normalized_laplacian_gamma(graph);
+  std::printf("\nTheorem 2: (1/2)(1/du + 1/dv) <= r(u,v) <= (1/gamma)(1/du + 1/dv),"
+              "  gamma = %.4f\n", gamma);
+  std::printf("%6s %6s | %10s %12s %12s\n", "u", "v", "exact r", "lower bnd", "upper bnd");
+  for (std::size_t e = 0; e < std::min<std::size_t>(8, exact.size()); ++e) {
+    const auto edge = graph.edges()[e];
+    std::printf("%6u %6u | %10.4f %12.4f %12.4f\n", edge.u, edge.v, exact[e], 0.5 * proxy[e],
+                proxy[e] / gamma);
+  }
+
+  // 2. High-resistance edges are structurally critical (bridges ~ 1.0).
+  std::size_t near_bridges = 0;
+  for (const double r : exact) {
+    if (r > 0.95) ++near_bridges;
+  }
+  std::printf("\n%zu of %zu edges are near-bridges (r > 0.95) — the sampler favors them.\n",
+              near_bridges, exact.size());
+
+  // 3. Sweep sparsification levels.
+  std::printf("\n%8s %12s %12s %14s\n", "alpha", "kept edges", "removed", "weight total");
+  for (const double alpha : {0.05, 0.15, 0.30, 0.60, 1.00}) {
+    util::Rng sparsify_rng(99);
+    sparsify::SparsifyStats stats;
+    const auto sparse =
+        sparsify::EffectiveResistanceSparsifier(alpha).sparsify(graph, sparsify_rng, &stats);
+    double weight_total = 0.0;
+    for (const float w : sparse.edge_weights()) weight_total += w;
+    std::printf("%8.2f %12llu %11.1f%% %14.1f\n", alpha,
+                static_cast<unsigned long long>(stats.kept_edges), stats.removal_ratio * 100.0,
+                weight_total);
+  }
+  std::printf("\n(weight total stays ~|E| at every alpha: Theorem 1's reweighting keeps the\n"
+              "sparsified Laplacian an unbiased estimate of the original)\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure, capturing the outputs the
+# repository documents in EXPERIMENTS.md.
+#
+#   scripts/run_all.sh [extra bench flags...]
+# e.g.
+#   scripts/run_all.sh --scale=0.5 --epochs=40 --hidden=256
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "=== $(basename "$b") ===" | tee -a bench_output.txt
+  "$b" "$@" 2>/dev/null | tee -a bench_output.txt
+done

@@ -1,0 +1,78 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sampling/neighbor_sampler.hpp"
+
+namespace splpg::core {
+
+using graph::NodeId;
+using sampling::NodePair;
+
+Evaluator::Evaluator(const sampling::LinkSplit& split, const graph::FeatureStore& features,
+                     std::vector<std::uint32_t> fanouts, std::size_t k, std::size_t chunk_size,
+                     std::uint64_t seed)
+    : split_(&split), features_(&features), fanouts_(std::move(fanouts)), k_(k),
+      chunk_size_(std::max<std::size_t>(1, chunk_size)), seed_(seed) {}
+
+std::vector<float> Evaluator::score_pairs(const nn::LinkPredictionModel& model,
+                                          std::span<const NodePair> pairs) const {
+  util::Rng rng = util::Rng(seed_).split("evaluator");
+  sampling::GraphProvider provider(split_->train_graph);
+  const sampling::NeighborSampler sampler(fanouts_);
+
+  std::vector<float> scores;
+  scores.reserve(pairs.size());
+  for (std::size_t begin = 0; begin < pairs.size(); begin += chunk_size_) {
+    const std::size_t end = std::min(pairs.size(), begin + chunk_size_);
+    std::vector<NodeId> seeds;
+    seeds.reserve(2 * (end - begin));
+    for (std::size_t i = begin; i < end; ++i) {
+      seeds.push_back(pairs[i].u);
+      seeds.push_back(pairs[i].v);
+    }
+    const auto cg = sampler.sample(provider, seeds, rng);
+
+    std::unordered_map<NodeId, std::uint32_t> seed_index;
+    const auto seed_nodes = cg.seed_nodes();
+    seed_index.reserve(seed_nodes.size() * 2);
+    for (std::uint32_t i = 0; i < seed_nodes.size(); ++i) seed_index.emplace(seed_nodes[i], i);
+
+    const auto embeddings = model.encode(cg, *features_);
+    std::vector<nn::PairIndex> index_pairs;
+    index_pairs.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      index_pairs.push_back({seed_index.at(pairs[i].u), seed_index.at(pairs[i].v)});
+    }
+    const auto logits = model.score(embeddings, index_pairs);
+    for (std::size_t i = 0; i < index_pairs.size(); ++i) {
+      scores.push_back(logits.value().at(i, 0));
+    }
+  }
+  return scores;
+}
+
+EvalResult Evaluator::evaluate(const nn::LinkPredictionModel& model) const {
+  auto to_pairs = [](std::span<const graph::Edge> edges) {
+    std::vector<NodePair> pairs;
+    pairs.reserve(edges.size());
+    for (const auto& [u, v] : edges) pairs.push_back({u, v});
+    return pairs;
+  };
+
+  const auto val_pos = score_pairs(model, to_pairs(split_->val_pos));
+  const auto val_neg = score_pairs(model, split_->val_neg);
+  const auto test_pos = score_pairs(model, to_pairs(split_->test_pos));
+  const auto test_neg = score_pairs(model, split_->test_neg);
+
+  EvalResult out;
+  out.k = k_ != 0 ? k_ : std::max<std::size_t>(10, split_->test_neg.size() / 30);
+  out.val_hits = eval::hits_at_k(val_pos, val_neg, out.k);
+  out.test_hits = eval::hits_at_k(test_pos, test_neg, out.k);
+  out.val_auc = eval::auc(val_pos, val_neg);
+  out.test_auc = eval::auc(test_pos, test_neg);
+  return out;
+}
+
+}  // namespace splpg::core

@@ -1,0 +1,42 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace splpg::core {
+
+void write_history_csv(std::ostream& out, const TrainResult& result) {
+  out << "epoch,mean_loss,comm_gigabytes,val_hits,test_hits,test_auc,seconds\n";
+  for (const auto& record : result.history) {
+    out << record.epoch << ',' << record.mean_loss << ',' << record.comm_gigabytes << ','
+        << record.val_hits << ',' << record.test_hits << ',' << record.test_auc << ','
+        << record.seconds << '\n';
+  }
+}
+
+void write_summary_csv(std::ostream& out, const std::vector<std::string>& labels,
+                       const std::vector<TrainResult>& results) {
+  if (labels.size() != results.size()) {
+    throw std::invalid_argument("write_summary_csv: labels/results arity mismatch");
+  }
+  out << "label,method,test_hits,test_auc,eval_k,comm_gigabytes_total,"
+         "comm_gigabytes_per_epoch,sparsify_seconds,train_seconds,edge_cut,balance\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << labels[i] << ',' << to_string(r.method) << ',' << r.test_hits << ',' << r.test_auc
+        << ',' << r.eval_k << ',' << r.comm.total_gigabytes() << ','
+        << r.comm_gigabytes_per_epoch << ',' << r.sparsify_seconds << ',' << r.train_seconds
+        << ',' << r.partition_edge_cut << ',' << r.partition_balance << '\n';
+  }
+}
+
+void write_worker_comm_csv(std::ostream& out, const TrainResult& result) {
+  out << "worker,structure_bytes,feature_bytes,structure_fetches,feature_fetches\n";
+  for (std::size_t w = 0; w < result.per_worker_comm.size(); ++w) {
+    const auto& stats = result.per_worker_comm[w];
+    out << w << ',' << stats.structure_bytes << ',' << stats.feature_bytes << ','
+        << stats.structure_fetches << ',' << stats.feature_fetches << '\n';
+  }
+}
+
+}  // namespace splpg::core

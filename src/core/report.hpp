@@ -1,0 +1,30 @@
+// Result export: CSV writers for training histories and cross-method
+// summaries, so the figures can be re-plotted from bench runs without
+// parsing console tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+
+namespace splpg::core {
+
+/// Per-epoch history of one run:
+/// epoch,mean_loss,comm_gigabytes,val_hits,test_hits,test_auc,seconds
+/// (-1 sentinels for epochs without evaluation are preserved).
+void write_history_csv(std::ostream& out, const TrainResult& result);
+
+/// One row per result:
+/// label,method,test_hits,test_auc,eval_k,comm_gigabytes_total,
+/// comm_gigabytes_per_epoch,sparsify_seconds,train_seconds,edge_cut,balance
+/// `labels` must parallel `results` (e.g. "cora/p=4").
+void write_summary_csv(std::ostream& out, const std::vector<std::string>& labels,
+                       const std::vector<TrainResult>& results);
+
+/// Per-worker communication breakdown of one run:
+/// worker,structure_bytes,feature_bytes,structure_fetches,feature_fetches
+void write_worker_comm_csv(std::ostream& out, const TrainResult& result);
+
+}  // namespace splpg::core

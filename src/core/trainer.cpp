@@ -1,0 +1,306 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "dist/worker_view.hpp"
+#include "nn/optimizer.hpp"
+#include "sampling/negative_sampler.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "sparsify/sparsifier.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace splpg::core {
+
+using graph::Edge;
+using graph::NodeId;
+using sampling::NodePair;
+
+namespace {
+
+/// One worker's training step on one mini-batch. Returns the loss.
+float train_batch(dist::WorkerView& view, nn::LinkPredictionModel& model,
+                  const sampling::NeighborSampler& sampler,
+                  const sampling::PerSourceNegativeSampler& negatives,
+                  std::span<const Edge> positives, util::Rng& rng) {
+  view.begin_batch();
+
+  // Per-source uniform negatives, one per positive (balanced batch, §II-B).
+  const std::vector<NodePair> negative_pairs = negatives.sample_for_batch(positives, rng);
+
+  std::vector<NodeId> seeds;
+  seeds.reserve(2 * (positives.size() + negative_pairs.size()));
+  for (const auto& [u, v] : positives) {
+    seeds.push_back(u);
+    seeds.push_back(v);
+  }
+  for (const auto& [u, v] : negative_pairs) {
+    seeds.push_back(u);
+    seeds.push_back(v);
+  }
+
+  const auto cg = sampler.sample(view, seeds, rng);
+  auto input_features = view.gather_features(cg.input_nodes());
+  const auto embeddings = model.encode(cg, std::move(input_features));
+
+  std::unordered_map<NodeId, std::uint32_t> seed_index;
+  const auto seed_nodes = cg.seed_nodes();
+  seed_index.reserve(seed_nodes.size() * 2);
+  for (std::uint32_t i = 0; i < seed_nodes.size(); ++i) seed_index.emplace(seed_nodes[i], i);
+
+  std::vector<nn::PairIndex> pairs;
+  std::vector<float> labels;
+  pairs.reserve(positives.size() + negative_pairs.size());
+  labels.reserve(pairs.capacity());
+  for (const auto& [u, v] : positives) {
+    pairs.push_back({seed_index.at(u), seed_index.at(v)});
+    labels.push_back(1.0F);
+  }
+  for (const auto& [u, v] : negative_pairs) {
+    pairs.push_back({seed_index.at(u), seed_index.at(v)});
+    labels.push_back(0.0F);
+  }
+
+  const auto logits = model.score(embeddings, pairs);
+  auto loss = bce_with_logits(logits, labels);
+  model.zero_grad();
+  loss.backward();
+  return loss.item();
+}
+
+}  // namespace
+
+TrainResult train_link_prediction(const sampling::LinkSplit& split,
+                                  const graph::FeatureStore& features,
+                                  const TrainConfig& config) {
+  const util::Stopwatch total_watch;
+  TrainResult result;
+  result.method = config.method;
+
+  const std::uint32_t num_workers =
+      config.method == Method::kCentralized ? 1 : std::max(1U, config.num_partitions);
+
+  // ---- master: partition ----
+  util::Rng master_rng = util::Rng(config.seed).split("master");
+  const auto partitioner = method_partitioner(config.method, config.super_clusters_per_part);
+  partition::PartitionResult parts =
+      partitioner->partition(split.train_graph, num_workers, master_rng);
+  result.partition_edge_cut = partition::edge_cut(split.train_graph, parts);
+  result.partition_balance = partition::balance(split.train_graph, parts);
+
+  dist::MasterStore store(split.train_graph, &features, std::move(parts));
+
+  // ---- master: sparsify (SpLPG only) ----
+  if (uses_sparsification(config.method)) {
+    const auto sparsifier = sparsify::make_sparsifier(config.sparsifier, config.alpha);
+    std::vector<sparsify::SparsifyStats> stats;
+    util::Rng sparsify_rng = util::Rng(config.seed).split("sparsify");
+    std::vector<std::uint32_t> assignment(store.graph().num_nodes());
+    for (NodeId v = 0; v < store.graph().num_nodes(); ++v) assignment[v] = store.part_of(v);
+    store.set_sparsified(sparsifier->sparsify_partitions(store.graph(), assignment, num_workers,
+                                                         sparsify_rng, &stats));
+    for (const auto& s : stats) result.sparsify_seconds += s.elapsed_seconds;
+  }
+
+  // ---- master: per-worker state ----
+  nn::ModelConfig model_config = config.model;
+  if (model_config.in_dim == 0) model_config.in_dim = features.dim();
+
+  const dist::WorkerPolicy policy = worker_policy(config.method);
+  std::vector<std::unique_ptr<dist::WorkerView>> views;
+  std::vector<std::shared_ptr<nn::LinkPredictionModel>> replicas;
+  std::vector<std::unique_ptr<nn::Adam>> optimizers;
+  std::vector<std::unique_ptr<sampling::PerSourceNegativeSampler>> negative_samplers;
+  std::vector<std::vector<Edge>> owned;
+  views.reserve(num_workers);
+  for (std::uint32_t w = 0; w < num_workers; ++w) {
+    views.push_back(std::make_unique<dist::WorkerView>(store, w, policy));
+    replicas.push_back(std::make_shared<nn::LinkPredictionModel>(model_config, config.seed));
+    optimizers.push_back(std::make_unique<nn::Adam>(*replicas[w], config.learning_rate));
+    // The rejection oracle uses the training graph: a worker always knows the
+    // full neighbor list of its own (source) nodes.
+    const auto& train_graph = split.train_graph;
+    auto candidates = views[w]->negative_candidates();
+    auto candidate_weights = sampling::negative_candidate_weights(
+        config.negative_distribution, train_graph, candidates);
+    negative_samplers.push_back(std::make_unique<sampling::PerSourceNegativeSampler>(
+        std::move(candidates),
+        [&train_graph](NodeId u, NodeId v) { return train_graph.has_edge(u, v); },
+        std::move(candidate_weights)));
+    owned.push_back(num_workers == 1
+                        ? std::vector<Edge>(split.train_pos.begin(), split.train_pos.end())
+                        : views[w]->owned_positive_edges(split.train_pos));
+  }
+
+  const auto fanouts = config.fanouts.empty() ? replicas[0]->default_fanouts() : config.fanouts;
+  const sampling::NeighborSampler sampler(fanouts);
+  const Evaluator evaluator(split, features, fanouts, config.eval_k);
+
+  // Synchronization rounds per epoch: every worker participates in every
+  // round; workers with fewer owned edges wrap their iterator.
+  std::size_t max_owned = 1;
+  for (const auto& edges : owned) max_owned = std::max(max_owned, edges.size());
+  std::uint32_t rounds = static_cast<std::uint32_t>(
+      (max_owned + config.batch_size - 1) / config.batch_size);
+  if (config.max_batches_per_epoch > 0) rounds = std::min(rounds, config.max_batches_per_epoch);
+
+  dist::DistContext context(num_workers);
+  for (std::uint32_t w = 0; w < num_workers; ++w) context.register_replica(w, replicas[w].get());
+
+  // Shared per-epoch accumulators (written by workers, read in the barrier's
+  // serial section while all other threads are blocked).
+  std::vector<double> epoch_loss(num_workers, 0.0);
+  std::vector<std::uint64_t> epoch_batches(num_workers, 0);
+  std::vector<std::exception_ptr> errors(num_workers);
+  result.per_worker_comm.assign(num_workers, dist::CommStats{});
+  std::atomic<bool> stop_requested{false};
+  std::uint32_t evaluations_since_best = 0;  // serial-section only
+
+  auto worker_main = [&](std::uint32_t w) {
+    try {
+      util::Rng worker_rng = util::Rng(config.seed).split("worker", w);
+      sampling::BatchIterator batches(owned[w], config.batch_size);
+      util::Rng shuffle_rng = worker_rng.split("shuffle");
+      batches.reset(shuffle_rng);
+
+      for (std::uint32_t epoch = 1; epoch <= config.epochs; ++epoch) {
+        const util::Stopwatch epoch_watch;
+        util::Rng rng = worker_rng.split("epoch", epoch);
+        epoch_loss[w] = 0.0;
+        epoch_batches[w] = 0;
+
+        for (std::uint32_t round = 0; round < rounds; ++round) {
+          std::vector<Edge> batch = batches.next();
+          if (batch.empty()) {
+            batches.reset(shuffle_rng);
+            batch = batches.next();
+          }
+          if (!batch.empty()) {
+            const float loss = train_batch(*views[w], *replicas[w], sampler,
+                                           *negative_samplers[w], batch, rng);
+            epoch_loss[w] += loss;
+            ++epoch_batches[w];
+          }
+          if (config.sync == dist::SyncMode::kGradientAveraging && num_workers > 1) {
+            context.all_reduce_gradients();
+          }
+          optimizers[w]->step();
+        }
+
+        if (config.sync == dist::SyncMode::kModelAveraging && num_workers > 1) {
+          context.average_models();
+        }
+
+        // LLCG: server-side correction on the full graph, then broadcast.
+        if (uses_global_correction(config.method)) {
+          context.run_serial([&] {
+            dist::WorkerPolicy central{true, dist::RemoteAdjacency::kNone,
+                                       dist::NegativeScope::kGlobal};
+            partition::PartitionResult one_part;
+            one_part.num_parts = 1;
+            one_part.assignment.assign(store.graph().num_nodes(), 0);
+            dist::MasterStore central_store(split.train_graph, &features, std::move(one_part));
+            dist::WorkerView central_view(central_store, 0, central);
+            std::vector<NodeId> all_nodes(store.graph().num_nodes());
+            for (NodeId v = 0; v < all_nodes.size(); ++v) all_nodes[v] = v;
+            const auto& train_graph = split.train_graph;
+            const sampling::PerSourceNegativeSampler central_negatives(
+                std::move(all_nodes),
+                [&train_graph](NodeId u, NodeId v) { return train_graph.has_edge(u, v); });
+            util::Rng correction_rng = util::Rng(config.seed).split("llcg", epoch);
+            nn::Sgd corrector(*replicas[0], config.learning_rate);
+            std::vector<Edge> train_edges(split.train_pos.begin(), split.train_pos.end());
+            sampling::BatchIterator correction_batches(train_edges, config.batch_size);
+            correction_batches.reset(correction_rng);
+            for (std::uint32_t b = 0; b < config.llcg_correction_batches; ++b) {
+              const auto batch = correction_batches.next();
+              if (batch.empty()) break;
+              train_batch(central_view, *replicas[0], sampler, central_negatives, batch,
+                          correction_rng);
+              corrector.step();
+            }
+            for (std::uint32_t other = 1; other < num_workers; ++other) {
+              nn::copy_parameters(*replicas[0], *replicas[other]);
+            }
+          });
+        }
+
+        // Epoch bookkeeping + optional evaluation (single thread).
+        context.run_serial([&] {
+          EpochRecord record;
+          record.epoch = epoch;
+          std::uint64_t batches_total = 0;
+          for (std::uint32_t i = 0; i < num_workers; ++i) {
+            record.mean_loss += epoch_loss[i];
+            batches_total += epoch_batches[i];
+            const dist::CommStats epoch_comm = views[i]->meter().drain();
+            record.comm_gigabytes += epoch_comm.total_gigabytes();
+            result.comm += epoch_comm;
+            result.per_worker_comm[i] += epoch_comm;
+          }
+          record.mean_loss =
+              batches_total > 0 ? record.mean_loss / static_cast<double>(batches_total) : 0.0;
+          result.total_batches += batches_total;
+          record.seconds = epoch_watch.seconds();
+
+          const bool evaluate_now =
+              (config.eval_every > 0 && epoch % config.eval_every == 0) ||
+              epoch == config.epochs;
+          if (evaluate_now) {
+            const EvalResult eval = evaluator.evaluate(*replicas[0]);
+            record.val_hits = eval.val_hits;
+            record.test_hits = eval.test_hits;
+            record.test_auc = eval.test_auc;
+            result.eval_k = eval.k;
+            if (eval.val_hits > result.best_val_hits) {
+              evaluations_since_best = 0;
+            } else {
+              ++evaluations_since_best;
+            }
+            if (eval.val_hits >= result.best_val_hits) {
+              result.best_val_hits = eval.val_hits;
+              result.test_hits = eval.test_hits;
+              result.test_auc = eval.test_auc;
+            }
+            if (config.patience > 0 && evaluations_since_best >= config.patience) {
+              stop_requested.store(true);
+            }
+          }
+          result.history.push_back(record);
+        });
+        if (stop_requested.load()) break;  // early stop: all workers agree
+      }
+    } catch (...) {
+      errors[w] = std::current_exception();
+      // A failed worker would deadlock the barrier; fail fast instead.
+      SPLPG_ERROR << "worker " << w << " failed; aborting training";
+      std::terminate();
+    }
+  };
+
+  if (num_workers == 1) {
+    worker_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers);
+    for (std::uint32_t w = 0; w < num_workers; ++w) threads.emplace_back(worker_main, w);
+    for (auto& thread : threads) thread.join();
+  }
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  result.comm_gigabytes_per_epoch =
+      config.epochs > 0 ? result.comm.total_gigabytes() / config.epochs : 0.0;
+  result.train_seconds = total_watch.seconds();
+  result.model = replicas[0];
+  return result;
+}
+
+}  // namespace splpg::core

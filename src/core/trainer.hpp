@@ -1,0 +1,98 @@
+// Distributed (and centralized) link-prediction training — Algorithm 1 and
+// all baselines/variants of the paper's evaluation.
+//
+// The master (calling thread) partitions the training graph, optionally
+// sparsifies the partitions (SpLPG), builds one WorkerView + model replica +
+// optimizer per worker, and launches one OS thread per worker. Workers run
+// mini-batch training with per-batch negative sampling and synchronize via
+// gradient averaging (every batch) or model averaging (every epoch).
+// Everything is deterministic in config.seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/method.hpp"
+#include "dist/comm_meter.hpp"
+#include "dist/sync.hpp"
+#include "graph/features.hpp"
+#include "nn/model.hpp"
+#include "sampling/edge_split.hpp"
+#include "sampling/negative_sampler.hpp"
+#include "sparsify/sparsifier.hpp"
+
+namespace splpg::core {
+
+struct TrainConfig {
+  Method method = Method::kSplpg;
+  nn::ModelConfig model;                     // model.in_dim set from features if 0
+  std::uint32_t num_partitions = 4;          // ignored for kCentralized
+  std::uint32_t epochs = 10;
+  std::uint32_t batch_size = 256;
+  float learning_rate = 1e-3F;
+  dist::SyncMode sync = dist::SyncMode::kModelAveraging;  // baselines' setting
+  double alpha = 0.15;                       // sparsification level (SpLPG)
+  sparsify::SparsifierKind sparsifier = sparsify::SparsifierKind::kEffectiveResistance;
+  sampling::NegativeDistribution negative_distribution =
+      sampling::NegativeDistribution::kUniform;  // per-source uniform (paper)
+  std::uint32_t super_clusters_per_part = 16;
+  std::uint32_t max_batches_per_epoch = 0;   // 0 = run the full epoch
+  std::uint32_t eval_every = 0;              // 0 = evaluate only after training
+  std::size_t eval_k = 0;                    // 0 = auto (see Evaluator)
+  std::uint32_t llcg_correction_batches = 8;
+  std::vector<std::uint32_t> fanouts;        // empty = model default
+  /// Early stopping: stop when validation Hits@K has not improved for this
+  /// many evaluations (requires eval_every > 0). 0 = train all epochs (the
+  /// paper's protocol: fixed epochs, report test at best validation).
+  std::uint32_t patience = 0;
+  std::uint64_t seed = 1;
+};
+
+struct EpochRecord {
+  std::uint32_t epoch = 0;
+  double mean_loss = 0.0;
+  double comm_gigabytes = 0.0;  // summed over workers, this epoch
+  double val_hits = -1.0;       // -1 when not evaluated this epoch
+  double test_hits = -1.0;
+  double test_auc = -1.0;
+  double seconds = 0.0;
+};
+
+struct TrainResult {
+  Method method = Method::kCentralized;
+  std::vector<EpochRecord> history;
+
+  /// The trained (synchronized) model — worker 0's replica after the final
+  /// epoch. Use with core::Evaluator for serving/inference.
+  std::shared_ptr<nn::LinkPredictionModel> model;
+
+  // Accuracy: test metrics at the best-validation epoch when per-epoch
+  // evaluation ran, else from the single final evaluation.
+  double best_val_hits = 0.0;
+  double test_hits = 0.0;
+  double test_auc = 0.0;
+  std::size_t eval_k = 0;
+
+  // Communication, summed over all workers and epochs.
+  dist::CommStats comm;
+  double comm_gigabytes_per_epoch = 0.0;
+  /// Per-worker totals (same sum as `comm`) — exposes transfer-load
+  /// imbalance across workers, which partitioning quality drives.
+  std::vector<dist::CommStats> per_worker_comm;
+
+  // Preprocessing.
+  double sparsify_seconds = 0.0;
+  graph::EdgeId partition_edge_cut = 0;
+  double partition_balance = 1.0;
+
+  double train_seconds = 0.0;
+  std::uint64_t total_batches = 0;
+};
+
+[[nodiscard]] TrainResult train_link_prediction(const sampling::LinkSplit& split,
+                                                const graph::FeatureStore& features,
+                                                const TrainConfig& config);
+
+}  // namespace splpg::core

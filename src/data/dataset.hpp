@@ -1,0 +1,54 @@
+// Named dataset registry mirroring Table I of the paper.
+//
+// Each config records the *paper's* node/edge/feature counts and the
+// generator parameters that produce a synthetic stand-in with similar shape.
+// `scale` (0 < scale <= 1) shrinks node/edge counts for fast runs; feature
+// dimension shrinks with sqrt(scale) (capped below at 16) so feature-transfer
+// cost stays in realistic proportion to structure-transfer cost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/generators.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/features.hpp"
+#include "util/rng.hpp"
+
+namespace splpg::data {
+
+struct DatasetConfig {
+  std::string name;
+  graph::NodeId paper_nodes = 0;
+  graph::EdgeId paper_edges = 0;
+  std::uint32_t paper_features = 0;
+  std::uint32_t communities = 16;   // generator granularity
+  double intra_prob = 0.85;         // community mixing
+  std::uint32_t batch_size = 256;   // paper's default per-dataset batch size
+};
+
+struct Dataset {
+  std::string name;
+  graph::CsrGraph graph;
+  graph::FeatureStore features;
+  std::vector<std::uint32_t> communities;  // ground-truth generator labels
+  std::uint32_t batch_size = 256;
+};
+
+/// All nine Table-I configs, in paper order:
+/// citeseer, cora, actor, chameleon, pubmed, co_cs, co_physics, collab, ppa.
+[[nodiscard]] const std::vector<DatasetConfig>& dataset_registry();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const DatasetConfig& dataset_config(const std::string& name);
+
+/// Materializes the synthetic stand-in for `config` at the given scale.
+/// Deterministic in (config, scale, seed).
+[[nodiscard]] Dataset make_dataset(const DatasetConfig& config, double scale,
+                                   std::uint64_t seed);
+
+/// Convenience: by-name creation.
+[[nodiscard]] Dataset make_dataset(const std::string& name, double scale, std::uint64_t seed);
+
+}  // namespace splpg::data

@@ -1,0 +1,55 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on nine real datasets (Table I) that we cannot ship;
+// these generators produce graphs with the same *relevant* characteristics —
+// community structure (so METIS-style partitioning finds low cuts and creates
+// the information-loss effects the paper studies), heavy-tailed degrees, and
+// node features correlated with communities (so link prediction is actually
+// learnable from features + structure).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/features.hpp"
+#include "util/rng.hpp"
+
+namespace splpg::data {
+
+/// Degree-corrected stochastic block model, the default "citation-like"
+/// generator. Draws `num_edges` distinct edges; endpoints are chosen with
+/// probability proportional to Pareto(shape) node weights; with probability
+/// `intra_prob` both endpoints come from the same community.
+struct SbmParams {
+  graph::NodeId num_nodes = 1000;
+  graph::EdgeId num_edges = 5000;
+  std::uint32_t num_communities = 20;
+  double intra_prob = 0.8;      // fraction of intra-community edges
+  double pareto_shape = 2.5;    // degree heavy-tailedness (smaller = heavier)
+};
+[[nodiscard]] graph::CsrGraph generate_sbm(const SbmParams& params, util::Rng& rng,
+                                           std::vector<std::uint32_t>* communities = nullptr);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `edges_per_node` existing nodes proportionally to degree.
+[[nodiscard]] graph::CsrGraph generate_barabasi_albert(graph::NodeId num_nodes,
+                                                       std::uint32_t edges_per_node,
+                                                       util::Rng& rng);
+
+/// Erdős–Rényi G(n, m): m distinct uniform edges.
+[[nodiscard]] graph::CsrGraph generate_erdos_renyi(graph::NodeId num_nodes,
+                                                   graph::EdgeId num_edges, util::Rng& rng);
+
+/// Watts–Strogatz ring lattice (each node linked to k nearest neighbors)
+/// with rewiring probability beta.
+[[nodiscard]] graph::CsrGraph generate_watts_strogatz(graph::NodeId num_nodes, std::uint32_t k,
+                                                      double beta, util::Rng& rng);
+
+/// Community-correlated Gaussian features: each community has a centroid
+/// drawn N(0, signal^2 I); node features are centroid + N(0, noise^2 I).
+/// With no communities (empty span) features are pure noise.
+[[nodiscard]] graph::FeatureStore generate_features(graph::NodeId num_nodes, std::uint32_t dim,
+                                                    std::span<const std::uint32_t> communities,
+                                                    double signal, double noise, util::Rng& rng);
+
+}  // namespace splpg::data

@@ -1,0 +1,86 @@
+// Communication accounting for the distributed-training simulation.
+//
+// The paper's efficiency metric (Figures 4, 8, 9, 13) is the cumulative
+// amount of *graph data* — structure (adjacency lists) and node features —
+// transferred from the master/shared memory to workers during training.
+// Every remote read in WorkerView flows through a CommMeter.
+//
+// Deduplication is per mini-batch: "the features of the same node need to be
+// transferred only once per batch" (§V-C, impact of batch size), and the
+// same holds for adjacency lists.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "graph/csr_graph.hpp"
+
+namespace splpg::dist {
+
+struct CommStats {
+  std::uint64_t structure_bytes = 0;  // adjacency data fetched
+  std::uint64_t feature_bytes = 0;    // feature rows fetched
+  std::uint64_t structure_fetches = 0;  // deduplicated node-adjacency fetches
+  std::uint64_t feature_fetches = 0;    // deduplicated feature-row fetches
+  std::uint64_t batches = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return structure_bytes + feature_bytes;
+  }
+  [[nodiscard]] double total_gigabytes() const noexcept {
+    return static_cast<double>(total_bytes()) / (1024.0 * 1024.0 * 1024.0);
+  }
+
+  CommStats& operator+=(const CommStats& other) noexcept {
+    structure_bytes += other.structure_bytes;
+    feature_bytes += other.feature_bytes;
+    structure_fetches += other.structure_fetches;
+    feature_fetches += other.feature_fetches;
+    batches += other.batches;
+    return *this;
+  }
+};
+
+class CommMeter {
+ public:
+  /// Starts a new mini-batch: clears the per-batch dedup sets.
+  void begin_batch() {
+    batch_structure_.clear();
+    batch_features_.clear();
+    ++stats_.batches;
+  }
+
+  /// Charges a structure fetch for node `v` unless already fetched in this
+  /// batch. Returns true when bytes were charged.
+  bool charge_structure(graph::NodeId v, std::uint64_t bytes) {
+    if (!batch_structure_.insert(v).second) return false;
+    stats_.structure_bytes += bytes;
+    ++stats_.structure_fetches;
+    return true;
+  }
+
+  /// Charges a feature-row fetch for node `v` unless already fetched in this
+  /// batch. Returns true when bytes were charged.
+  bool charge_features(graph::NodeId v, std::uint64_t bytes) {
+    if (!batch_features_.insert(v).second) return false;
+    stats_.feature_bytes += bytes;
+    ++stats_.feature_fetches;
+    return true;
+  }
+
+  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+
+  /// Snapshots and clears the counters (per-epoch reporting).
+  CommStats drain() {
+    CommStats out = stats_;
+    stats_ = CommStats{};
+    return out;
+  }
+
+ private:
+  CommStats stats_;
+  std::unordered_set<graph::NodeId> batch_structure_;
+  std::unordered_set<graph::NodeId> batch_features_;
+};
+
+}  // namespace splpg::dist

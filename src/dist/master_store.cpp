@@ -1,0 +1,34 @@
+#include "dist/master_store.hpp"
+
+namespace splpg::dist {
+
+using graph::NodeId;
+
+MasterStore::MasterStore(graph::CsrGraph graph, const graph::FeatureStore* features,
+                         partition::PartitionResult parts)
+    : graph_(std::move(graph)), features_(features), parts_(std::move(parts)) {
+  if (parts_.assignment.size() != graph_.num_nodes()) {
+    throw std::invalid_argument("MasterStore: assignment size != node count");
+  }
+  if (features_ != nullptr && features_->num_nodes() != graph_.num_nodes()) {
+    throw std::invalid_argument("MasterStore: feature rows != node count");
+  }
+  part_nodes_ = parts_.part_nodes();
+
+  halo_.assign(parts_.num_parts, std::vector<bool>(graph_.num_nodes(), false));
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    const std::uint32_t part = parts_.assignment[v];
+    for (const NodeId w : graph_.neighbors(v)) {
+      if (parts_.assignment[w] != part) halo_[part][w] = true;
+    }
+  }
+}
+
+void MasterStore::set_sparsified(std::vector<graph::CsrGraph> graphs) {
+  if (graphs.size() != parts_.num_parts) {
+    throw std::invalid_argument("MasterStore: need one sparsified graph per part");
+  }
+  sparsified_ = std::move(graphs);
+}
+
+}  // namespace splpg::dist

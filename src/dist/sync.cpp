@@ -1,0 +1,58 @@
+#include "dist/sync.hpp"
+
+#include <stdexcept>
+
+namespace splpg::dist {
+
+DistContext::DistContext(std::uint32_t num_workers)
+    : barrier_(num_workers), replicas_(num_workers, nullptr) {
+  if (num_workers == 0) throw std::invalid_argument("DistContext: need >= 1 worker");
+}
+
+void DistContext::register_replica(std::uint32_t worker, nn::Module* replica) {
+  if (worker >= replicas_.size()) throw std::out_of_range("DistContext: bad worker id");
+  replicas_[worker] = replica;
+}
+
+void DistContext::all_reduce_gradients() {
+  barrier_.arrive_and_wait([this] {
+    const float inv = 1.0F / static_cast<float>(replicas_.size());
+    const std::size_t num_params = replicas_[0]->parameters().size();
+    for (std::size_t i = 0; i < num_params; ++i) {
+      // Average in fixed worker order into a scratch buffer...
+      tensor::Matrix average(replicas_[0]->parameters()[i].value().rows(),
+                             replicas_[0]->parameters()[i].value().cols());
+      for (nn::Module* replica : replicas_) {
+        auto& grad = replica->parameters()[i].mutable_grad();
+        if (grad.empty()) continue;  // this worker skipped the round
+        average.add_inplace(grad);
+      }
+      average.scale_inplace(inv);
+      // ...then distribute to every replica.
+      for (nn::Module* replica : replicas_) {
+        auto& grad = replica->parameters()[i].mutable_grad();
+        grad = average;
+      }
+    }
+  });
+}
+
+void DistContext::average_models() {
+  barrier_.arrive_and_wait([this] {
+    const float inv = 1.0F / static_cast<float>(replicas_.size());
+    const std::size_t num_params = replicas_[0]->parameters().size();
+    for (std::size_t i = 0; i < num_params; ++i) {
+      tensor::Matrix average(replicas_[0]->parameters()[i].value().rows(),
+                             replicas_[0]->parameters()[i].value().cols());
+      for (nn::Module* replica : replicas_) {
+        average.add_inplace(replica->parameters()[i].value());
+      }
+      average.scale_inplace(inv);
+      for (nn::Module* replica : replicas_) {
+        replica->parameters()[i].mutable_value() = average;
+      }
+    }
+  });
+}
+
+}  // namespace splpg::dist

@@ -1,0 +1,57 @@
+// Deterministic synchronization of worker model replicas.
+//
+// Mirrors the paper's two options (§IV-B): gradient averaging (PyTorch
+// DDP-style all_reduce after every mini-batch) and model averaging (FedAvg-
+// style periodic parameter averaging, used by all baselines).
+//
+// The reduction runs in the *serial section* of a barrier — exactly one
+// thread sums in a fixed replica order — so results are bit-identical across
+// runs regardless of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "util/barrier.hpp"
+
+namespace splpg::dist {
+
+enum class SyncMode { kGradientAveraging, kModelAveraging };
+
+class DistContext {
+ public:
+  explicit DistContext(std::uint32_t num_workers);
+
+  [[nodiscard]] std::uint32_t num_workers() const noexcept {
+    return static_cast<std::uint32_t>(replicas_.size());
+  }
+
+  /// Registers worker i's model replica. Must be fully done (all workers)
+  /// before any synchronization call; replicas must have identical
+  /// parameter lists (same construction seed).
+  void register_replica(std::uint32_t worker, nn::Module* replica);
+
+  /// Collective: every worker thread calls this after backward(). On return,
+  /// every replica's gradients hold the across-worker average.
+  /// Workers whose replica has no gradient for a parameter contribute zeros.
+  void all_reduce_gradients();
+
+  /// Collective: every worker thread calls this at a model-averaging point.
+  /// On return, every replica's parameters hold the across-worker average.
+  void average_models();
+
+  /// Collective: plain barrier (epoch boundaries, evaluation fences).
+  void wait_all() { barrier_.arrive_and_wait(); }
+
+  /// Collective: runs `fn` on exactly one thread while the others wait at
+  /// the barrier, then releases everyone. Returns true on the executing
+  /// thread.
+  bool run_serial(const std::function<void()>& fn) { return barrier_.arrive_and_wait(fn); }
+
+ private:
+  util::Barrier barrier_;
+  std::vector<nn::Module*> replicas_;
+};
+
+}  // namespace splpg::dist

@@ -1,0 +1,160 @@
+#include "embedding/deepwalk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace splpg::embedding {
+
+using graph::CsrGraph;
+using graph::NodeId;
+using util::AliasTable;
+using util::Rng;
+
+std::vector<std::vector<NodeId>> generate_walks(const CsrGraph& graph, const WalkConfig& config,
+                                                Rng& rng) {
+  const bool biased = config.return_param != 1.0 || config.inout_param != 1.0;
+  const double inv_p = 1.0 / config.return_param;
+  const double inv_q = 1.0 / config.inout_param;
+
+  std::vector<std::vector<NodeId>> walks;
+  walks.reserve(static_cast<std::size_t>(graph.num_nodes()) * config.walks_per_node);
+
+  std::vector<NodeId> start_order(graph.num_nodes());
+  std::iota(start_order.begin(), start_order.end(), NodeId{0});
+
+  std::vector<double> weights;  // scratch for biased steps
+  for (std::uint32_t round = 0; round < config.walks_per_node; ++round) {
+    rng.shuffle(std::span<NodeId>(start_order));
+    for (const NodeId start : start_order) {
+      if (graph.degree(start) == 0) continue;
+      std::vector<NodeId> walk;
+      walk.reserve(config.walk_length);
+      walk.push_back(start);
+      NodeId previous = graph::kInvalidNode;
+      NodeId current = start;
+      while (walk.size() < config.walk_length) {
+        const auto neighbors = graph.neighbors(current);
+        if (neighbors.empty()) break;
+        NodeId next = graph::kInvalidNode;
+        if (!biased || previous == graph::kInvalidNode) {
+          next = neighbors[rng.uniform_u64(neighbors.size())];
+        } else {
+          // node2vec second-order bias: 1/p to return, 1 to a common
+          // neighbor of previous, 1/q otherwise.
+          weights.clear();
+          weights.reserve(neighbors.size());
+          for (const NodeId candidate : neighbors) {
+            if (candidate == previous) {
+              weights.push_back(inv_p);
+            } else if (graph.has_edge(candidate, previous)) {
+              weights.push_back(1.0);
+            } else {
+              weights.push_back(inv_q);
+            }
+          }
+          // Linear-scan weighted choice (neighbor lists are short relative
+          // to building an alias table per step).
+          const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+          double pick = rng.uniform() * total;
+          std::size_t index = 0;
+          while (index + 1 < weights.size() && pick >= weights[index]) {
+            pick -= weights[index];
+            ++index;
+          }
+          next = neighbors[index];
+        }
+        walk.push_back(next);
+        previous = current;
+        current = next;
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+NodeEmbedding::NodeEmbedding(const CsrGraph& graph, const WalkConfig& walks,
+                             const SkipGramConfig& skipgram, Rng& rng)
+    : dim_(skipgram.dim), in_(graph.num_nodes(), skipgram.dim),
+      out_(graph.num_nodes(), skipgram.dim) {
+  // word2vec-style init: in ~ U(-0.5/dim, 0.5/dim), out = 0.
+  const float bound = 0.5F / static_cast<float>(dim_);
+  for (float& x : in_.data()) x = static_cast<float>(rng.uniform(-bound, bound));
+
+  Rng walk_rng = rng.split("walks");
+  const auto corpus = generate_walks(graph, walks, walk_rng);
+  Rng train_rng = rng.split("sgns");
+  train(graph, corpus, skipgram, train_rng);
+}
+
+void NodeEmbedding::train(const CsrGraph& graph, const std::vector<std::vector<NodeId>>& walks,
+                          const SkipGramConfig& config, Rng& rng) {
+  // Negative distribution ∝ degree^power (the word2vec unigram trick).
+  std::vector<double> negative_weights(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    negative_weights[v] = std::pow(static_cast<double>(graph.degree(v)), config.unigram_power);
+  }
+  const AliasTable negative_table{std::span<const double>(negative_weights)};
+
+  std::vector<float> grad_center(dim_);
+
+  auto sgd_pair = [&](NodeId center, NodeId context, float label, float lr) {
+    const auto center_vec = in_.row(center);
+    const auto context_vec = out_.row(context);
+    float dot = 0.0F;
+    for (std::uint32_t d = 0; d < dim_; ++d) dot += center_vec[d] * context_vec[d];
+    const float sig = 1.0F / (1.0F + std::exp(-dot));
+    const float g = lr * (label - sig);
+    for (std::uint32_t d = 0; d < dim_; ++d) {
+      grad_center[d] += g * context_vec[d];
+      context_vec[d] += g * center_vec[d];
+    }
+  };
+
+  for (std::uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Linear learning-rate decay across epochs.
+    const float lr = config.learning_rate *
+                     (1.0F - static_cast<float>(epoch) / static_cast<float>(config.epochs));
+    for (const auto& walk : walks) {
+      for (std::size_t center_pos = 0; center_pos < walk.size(); ++center_pos) {
+        const NodeId center = walk[center_pos];
+        const std::size_t lo =
+            center_pos >= config.window ? center_pos - config.window : 0;
+        const std::size_t hi = std::min(walk.size(), center_pos + config.window + 1);
+        for (std::size_t context_pos = lo; context_pos < hi; ++context_pos) {
+          if (context_pos == center_pos) continue;
+          const NodeId context = walk[context_pos];
+          std::fill(grad_center.begin(), grad_center.end(), 0.0F);
+          sgd_pair(center, context, 1.0F, lr);
+          for (std::uint32_t k = 0; k < config.negatives; ++k) {
+            const auto negative = static_cast<NodeId>(negative_table.sample(rng));
+            if (negative == context) continue;
+            sgd_pair(center, negative, 0.0F, lr);
+          }
+          const auto center_vec = in_.row(center);
+          for (std::uint32_t d = 0; d < dim_; ++d) center_vec[d] += grad_center[d];
+        }
+      }
+    }
+  }
+}
+
+double NodeEmbedding::score(NodeId u, NodeId v) const noexcept {
+  const auto a = in_.row(u);
+  const auto b = in_.row(v);
+  double dot = 0.0;
+  for (std::uint32_t d = 0; d < dim_; ++d) dot += static_cast<double>(a[d]) * b[d];
+  return dot;
+}
+
+std::vector<float> NodeEmbedding::score_pairs(
+    std::span<const std::pair<NodeId, NodeId>> pairs) const {
+  std::vector<float> out;
+  out.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) out.push_back(static_cast<float>(score(u, v)));
+  return out;
+}
+
+}  // namespace splpg::embedding

@@ -1,0 +1,77 @@
+// Random-walk network embeddings: DeepWalk and node2vec (§II-A).
+//
+// The paper positions these as the classical learning-based alternative to
+// GNNs for link prediction: learn node embeddings from random-walk corpora
+// via skip-gram with negative sampling (SGNS), then score a pair by the
+// similarity of its endpoint embeddings. Implemented here as a baseline
+// family for the evaluation harness.
+//
+// node2vec generalizes DeepWalk with a biased second-order walk controlled
+// by the return parameter p and in-out parameter q (p = q = 1 recovers
+// DeepWalk's uniform walk).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace splpg::embedding {
+
+struct WalkConfig {
+  std::uint32_t walks_per_node = 10;
+  std::uint32_t walk_length = 40;
+  double return_param = 1.0;  // p: low -> backtrack more
+  double inout_param = 1.0;   // q: low -> explore outward (DFS-like)
+};
+
+/// Generates walks_per_node walks from every node (shorter walks are emitted
+/// when a dead end is reached). Deterministic given rng state.
+[[nodiscard]] std::vector<std::vector<graph::NodeId>> generate_walks(
+    const graph::CsrGraph& graph, const WalkConfig& config, util::Rng& rng);
+
+struct SkipGramConfig {
+  std::uint32_t dim = 64;
+  std::uint32_t window = 5;
+  std::uint32_t negatives = 5;       // per positive (center, context) pair
+  float learning_rate = 0.025F;
+  std::uint32_t epochs = 2;
+  double unigram_power = 0.75;       // negative distribution ∝ deg^power
+};
+
+/// Skip-gram-with-negative-sampling embeddings over a walk corpus.
+class NodeEmbedding {
+ public:
+  /// Trains immediately (walk generation + SGNS). Deterministic in rng.
+  NodeEmbedding(const graph::CsrGraph& graph, const WalkConfig& walks,
+                const SkipGramConfig& skipgram, util::Rng& rng);
+
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+
+  /// The learned "input" embedding of node v.
+  [[nodiscard]] std::span<const float> embedding(graph::NodeId v) const noexcept {
+    return in_.row(v);
+  }
+
+  /// Link-prediction score: dot(emb(u), emb(v)).
+  [[nodiscard]] double score(graph::NodeId u, graph::NodeId v) const noexcept;
+
+  /// Scores a batch of pairs.
+  [[nodiscard]] std::vector<float> score_pairs(
+      std::span<const std::pair<graph::NodeId, graph::NodeId>> pairs) const;
+
+  /// The full n x dim embedding matrix (input vectors).
+  [[nodiscard]] const tensor::Matrix& matrix() const noexcept { return in_; }
+
+ private:
+  void train(const graph::CsrGraph& graph, const std::vector<std::vector<graph::NodeId>>& walks,
+             const SkipGramConfig& config, util::Rng& rng);
+
+  std::uint32_t dim_ = 0;
+  tensor::Matrix in_;   // center-word embeddings
+  tensor::Matrix out_;  // context-word embeddings
+};
+
+}  // namespace splpg::embedding

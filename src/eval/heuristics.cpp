@@ -1,0 +1,140 @@
+#include "eval/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "eval/metrics.hpp"
+
+namespace splpg::eval {
+
+using graph::CsrGraph;
+using graph::NodeId;
+using sampling::NodePair;
+
+std::vector<float> HeuristicScorer::score_pairs(std::span<const NodePair> pairs) const {
+  std::vector<float> out;
+  out.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) out.push_back(static_cast<float>(score(u, v)));
+  return out;
+}
+
+namespace {
+
+/// Walks the two sorted neighbor lists once, invoking `on_common` per shared
+/// neighbor. Returns the intersection size.
+template <typename Fn>
+std::size_t for_each_common_neighbor(const CsrGraph& graph, NodeId u, NodeId v, Fn&& on_common) {
+  const auto nu = graph.neighbors(u);
+  const auto nv = graph.neighbors(v);
+  auto iu = nu.begin();
+  auto iv = nv.begin();
+  std::size_t count = 0;
+  while (iu != nu.end() && iv != nv.end()) {
+    if (*iu == *iv) {
+      on_common(*iu);
+      ++count;
+      ++iu;
+      ++iv;
+    } else if (*iu < *iv) {
+      ++iu;
+    } else {
+      ++iv;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double CommonNeighbors::score(NodeId u, NodeId v) const {
+  return static_cast<double>(for_each_common_neighbor(*graph_, u, v, [](NodeId) {}));
+}
+
+double JaccardIndex::score(NodeId u, NodeId v) const {
+  const auto common =
+      static_cast<double>(for_each_common_neighbor(*graph_, u, v, [](NodeId) {}));
+  const double unioned =
+      static_cast<double>(graph_->degree(u)) + graph_->degree(v) - common;
+  return unioned > 0.0 ? common / unioned : 0.0;
+}
+
+double AdamicAdar::score(NodeId u, NodeId v) const {
+  double total = 0.0;
+  for_each_common_neighbor(*graph_, u, v, [&](NodeId w) {
+    const double degree = graph_->degree(w);
+    if (degree > 1.0) total += 1.0 / std::log(degree);
+  });
+  return total;
+}
+
+double ResourceAllocation::score(NodeId u, NodeId v) const {
+  double total = 0.0;
+  for_each_common_neighbor(*graph_, u, v, [&](NodeId w) {
+    const double degree = graph_->degree(w);
+    if (degree > 0.0) total += 1.0 / degree;
+  });
+  return total;
+}
+
+double PreferentialAttachment::score(NodeId u, NodeId v) const {
+  return static_cast<double>(graph_->degree(u)) * graph_->degree(v);
+}
+
+KatzIndex::KatzIndex(const CsrGraph& graph, double beta, std::uint32_t max_length)
+    : graph_(&graph), beta_(beta), max_length_(std::max(1U, max_length)) {}
+
+double KatzIndex::score(NodeId u, NodeId v) const {
+  // Dynamic programming over walk counts from u: counts[l][w] = number of
+  // length-l walks u -> w, kept sparse. Sum beta^l * counts[l][v].
+  std::unordered_map<NodeId, double> frontier{{u, 1.0}};
+  double total = 0.0;
+  double beta_power = 1.0;
+  for (std::uint32_t length = 1; length <= max_length_; ++length) {
+    beta_power *= beta_;
+    std::unordered_map<NodeId, double> next;
+    next.reserve(frontier.size() * 4);
+    for (const auto& [node, walks] : frontier) {
+      for (const NodeId neighbor : graph_->neighbors(node)) {
+        next[neighbor] += walks;
+      }
+    }
+    if (const auto it = next.find(v); it != next.end()) {
+      total += beta_power * it->second;
+    }
+    frontier = std::move(next);
+    // Guard against explosion on dense graphs: cap the frontier size.
+    if (frontier.size() > 200'000) break;
+  }
+  return total;
+}
+
+std::vector<std::unique_ptr<HeuristicScorer>> all_heuristics(const CsrGraph& graph) {
+  std::vector<std::unique_ptr<HeuristicScorer>> out;
+  out.push_back(std::make_unique<CommonNeighbors>(graph));
+  out.push_back(std::make_unique<JaccardIndex>(graph));
+  out.push_back(std::make_unique<AdamicAdar>(graph));
+  out.push_back(std::make_unique<ResourceAllocation>(graph));
+  out.push_back(std::make_unique<PreferentialAttachment>(graph));
+  out.push_back(std::make_unique<KatzIndex>(graph));
+  return out;
+}
+
+HeuristicResult evaluate_heuristic(const HeuristicScorer& scorer,
+                                   const sampling::LinkSplit& split, std::size_t k) {
+  std::vector<NodePair> positives;
+  positives.reserve(split.test_pos.size());
+  for (const auto& [u, v] : split.test_pos) positives.push_back({u, v});
+
+  const auto positive_scores = scorer.score_pairs(positives);
+  const auto negative_scores = scorer.score_pairs(split.test_neg);
+
+  HeuristicResult result;
+  result.name = scorer.name();
+  result.k = k != 0 ? k : std::max<std::size_t>(10, split.test_neg.size() / 30);
+  result.test_hits = hits_at_k(positive_scores, negative_scores, result.k);
+  result.test_auc = auc(positive_scores, negative_scores);
+  return result;
+}
+
+}  // namespace splpg::eval

@@ -1,0 +1,124 @@
+// Classical link-prediction heuristics (§II-A of the paper).
+//
+// These similarity scores are the pre-GNN baselines the link-prediction
+// literature builds on: each assigns a pair (u, v) a score from local (or,
+// for Katz, global) structure only — no features, no training. They serve as
+// sanity baselines for the GNN pipeline and as components for tests (a GNN
+// that loses to common-neighbors on a community graph is broken).
+//
+// All scorers operate on the TRAIN graph so evaluation is leak-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "sampling/edge_split.hpp"
+
+namespace splpg::eval {
+
+class HeuristicScorer {
+ public:
+  virtual ~HeuristicScorer() = default;
+
+  /// Similarity score for one pair; higher = more likely an edge.
+  [[nodiscard]] virtual double score(graph::NodeId u, graph::NodeId v) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Convenience: scores a batch of pairs.
+  [[nodiscard]] std::vector<float> score_pairs(
+      std::span<const sampling::NodePair> pairs) const;
+};
+
+/// |N(u) ∩ N(v)|.
+class CommonNeighbors final : public HeuristicScorer {
+ public:
+  explicit CommonNeighbors(const graph::CsrGraph& graph) : graph_(&graph) {}
+  [[nodiscard]] double score(graph::NodeId u, graph::NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "common_neighbors"; }
+
+ private:
+  const graph::CsrGraph* graph_;
+};
+
+/// |N(u) ∩ N(v)| / |N(u) ∪ N(v)|.
+class JaccardIndex final : public HeuristicScorer {
+ public:
+  explicit JaccardIndex(const graph::CsrGraph& graph) : graph_(&graph) {}
+  [[nodiscard]] double score(graph::NodeId u, graph::NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "jaccard"; }
+
+ private:
+  const graph::CsrGraph* graph_;
+};
+
+/// sum over common neighbors w of 1 / log(deg(w)).
+class AdamicAdar final : public HeuristicScorer {
+ public:
+  explicit AdamicAdar(const graph::CsrGraph& graph) : graph_(&graph) {}
+  [[nodiscard]] double score(graph::NodeId u, graph::NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "adamic_adar"; }
+
+ private:
+  const graph::CsrGraph* graph_;
+};
+
+/// sum over common neighbors w of 1 / deg(w).
+class ResourceAllocation final : public HeuristicScorer {
+ public:
+  explicit ResourceAllocation(const graph::CsrGraph& graph) : graph_(&graph) {}
+  [[nodiscard]] double score(graph::NodeId u, graph::NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "resource_allocation"; }
+
+ private:
+  const graph::CsrGraph* graph_;
+};
+
+/// deg(u) * deg(v).
+class PreferentialAttachment final : public HeuristicScorer {
+ public:
+  explicit PreferentialAttachment(const graph::CsrGraph& graph) : graph_(&graph) {}
+  [[nodiscard]] double score(graph::NodeId u, graph::NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "preferential_attachment"; }
+
+ private:
+  const graph::CsrGraph* graph_;
+};
+
+/// Truncated Katz index: sum_{l=1..max_length} beta^l * (#paths of length l).
+/// Computed per query by bounded BFS walks; beta must satisfy beta < 1/lambda_max
+/// for the untruncated series to converge, but the truncated sum is always
+/// finite.
+class KatzIndex final : public HeuristicScorer {
+ public:
+  KatzIndex(const graph::CsrGraph& graph, double beta = 0.05,
+            std::uint32_t max_length = 3);
+  [[nodiscard]] double score(graph::NodeId u, graph::NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "katz"; }
+
+ private:
+  const graph::CsrGraph* graph_;
+  double beta_;
+  std::uint32_t max_length_;
+};
+
+/// All heuristics over the given graph, in a fixed order.
+[[nodiscard]] std::vector<std::unique_ptr<HeuristicScorer>> all_heuristics(
+    const graph::CsrGraph& graph);
+
+/// Evaluates one scorer against a link split (same Hits@K/AUC protocol as the
+/// GNN evaluator). Returns {hits, auc}.
+struct HeuristicResult {
+  std::string name;
+  double test_hits = 0.0;
+  double test_auc = 0.0;
+  std::size_t k = 0;
+};
+[[nodiscard]] HeuristicResult evaluate_heuristic(const HeuristicScorer& scorer,
+                                                 const sampling::LinkSplit& split,
+                                                 std::size_t k = 0);
+
+}  // namespace splpg::eval

@@ -1,0 +1,59 @@
+#include "eval/ppr.hpp"
+
+#include <deque>
+
+namespace splpg::eval {
+
+using graph::NodeId;
+
+PersonalizedPageRank::PersonalizedPageRank(const graph::CsrGraph& graph, double alpha,
+                                           double epsilon)
+    : graph_(&graph), alpha_(alpha), epsilon_(epsilon) {}
+
+std::unordered_map<NodeId, double> PersonalizedPageRank::ppr_vector(NodeId source) const {
+  // Forward push (Andersen-Chung-Lang): maintain estimate p and residual r;
+  // push any node whose residual exceeds epsilon * degree.
+  std::unordered_map<NodeId, double> estimate;
+  std::unordered_map<NodeId, double> residual{{source, 1.0}};
+  std::deque<NodeId> queue{source};
+  std::unordered_map<NodeId, bool> queued{{source, true}};
+
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    queued[v] = false;
+
+    const double r = residual[v];
+    const double degree = graph_->degree(v);
+    if (degree == 0.0) {
+      // Dangling node: absorb the whole residual into the estimate.
+      estimate[v] += r;
+      residual[v] = 0.0;
+      continue;
+    }
+    if (r < epsilon_ * degree) continue;
+
+    estimate[v] += alpha_ * r;
+    residual[v] = 0.0;
+    const double push = (1.0 - alpha_) * r / degree;
+    for (const NodeId w : graph_->neighbors(v)) {
+      residual[w] += push;
+      if (!queued[w] && residual[w] >= epsilon_ * std::max<double>(1.0, graph_->degree(w))) {
+        queued[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return estimate;
+}
+
+double PersonalizedPageRank::score(NodeId u, NodeId v) const {
+  const auto from_u = ppr_vector(u);
+  const auto from_v = ppr_vector(v);
+  double total = 0.0;
+  if (const auto it = from_u.find(v); it != from_u.end()) total += it->second;
+  if (const auto it = from_v.find(u); it != from_v.end()) total += it->second;
+  return total;
+}
+
+}  // namespace splpg::eval

@@ -1,0 +1,36 @@
+// Personalized PageRank (PPR) link predictor — a global-structure heuristic
+// complementing the local neighborhood scores in heuristics.hpp.
+//
+// score(u, v) = ppr_u(v) + ppr_v(u), where ppr_u is the personalized
+// PageRank vector seeded at u, computed with the Andersen-Chung-Lang
+// forward-push approximation (sparse, O(1/epsilon) pushes, no global
+// iteration) over the train graph.
+#pragma once
+
+#include <unordered_map>
+
+#include "eval/heuristics.hpp"
+
+namespace splpg::eval {
+
+class PersonalizedPageRank final : public HeuristicScorer {
+ public:
+  /// `alpha` is the teleport probability; `epsilon` the push threshold
+  /// (residual per degree) — smaller is more accurate and slower.
+  PersonalizedPageRank(const graph::CsrGraph& graph, double alpha = 0.15,
+                       double epsilon = 1e-4);
+
+  [[nodiscard]] double score(graph::NodeId u, graph::NodeId v) const override;
+  [[nodiscard]] std::string name() const override { return "personalized_pagerank"; }
+
+  /// The (approximate) PPR vector seeded at `source`, as a sparse map.
+  [[nodiscard]] std::unordered_map<graph::NodeId, double> ppr_vector(
+      graph::NodeId source) const;
+
+ private:
+  const graph::CsrGraph* graph_;
+  double alpha_;
+  double epsilon_;
+};
+
+}  // namespace splpg::eval

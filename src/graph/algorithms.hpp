@@ -1,0 +1,56 @@
+// Classic graph algorithms used across the library: traversal, connectivity,
+// k-hop neighborhoods, and degree statistics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace splpg::graph {
+
+/// BFS order (node ids) from `source`; visits only source's component.
+[[nodiscard]] std::vector<NodeId> bfs_order(const CsrGraph& graph, NodeId source);
+
+/// BFS distance from `source` to every node; unreachable nodes get
+/// kUnreachable.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const CsrGraph& graph, NodeId source);
+
+/// Component id per node (0-based, dense), plus component count.
+struct Components {
+  std::vector<NodeId> label;  // per node
+  NodeId count = 0;
+
+  [[nodiscard]] std::vector<NodeId> component_sizes() const;
+  [[nodiscard]] NodeId largest() const;  // id of the largest component
+};
+[[nodiscard]] Components connected_components(const CsrGraph& graph);
+
+/// All nodes within `k` hops of `seeds` (including the seeds), as the union
+/// of full-neighborhood expansions. Used by tests to cross-check the fanout
+/// sampler and by the complete data-sharing strategy.
+[[nodiscard]] std::vector<NodeId> k_hop_neighborhood(const CsrGraph& graph,
+                                                     std::span<const NodeId> seeds,
+                                                     std::uint32_t k);
+
+/// Degree distribution summary used by partition data-discrepancy metrics.
+struct DegreeStats {
+  double mean = 0.0;
+  double variance = 0.0;
+  NodeId min = 0;
+  NodeId max = 0;
+  double gini = 0.0;  // inequality of the degree distribution
+};
+[[nodiscard]] DegreeStats degree_stats(const CsrGraph& graph);
+
+/// Global clustering coefficient (3 * triangles / wedges). O(sum d^2) via
+/// sorted-neighbor-list intersection; intended for small/medium graphs and
+/// dataset statistics output.
+[[nodiscard]] double global_clustering_coefficient(const CsrGraph& graph);
+
+/// Counts triangles via ordered neighbor intersection.
+[[nodiscard]] std::uint64_t triangle_count(const CsrGraph& graph);
+
+}  // namespace splpg::graph

@@ -1,0 +1,158 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace splpg::graph {
+
+CsrGraph::CsrGraph(NodeId num_nodes, std::vector<Edge> edges, std::vector<float> weights)
+    : num_nodes_(num_nodes), edges_(std::move(edges)), edge_weights_(std::move(weights)) {
+  assert(edge_weights_.empty() || edge_weights_.size() == edges_.size());
+
+  // Canonicalize and sort the edge list (builder output is already canonical,
+  // but re-sorting keeps the constructor safe for direct use).
+  if (edge_weights_.empty()) {
+    std::sort(edges_.begin(), edges_.end());
+  } else {
+    std::vector<std::size_t> order(edges_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return edges_[a] < edges_[b]; });
+    std::vector<Edge> sorted_edges(edges_.size());
+    std::vector<float> sorted_weights(edges_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      sorted_edges[i] = edges_[order[i]];
+      sorted_weights[i] = edge_weights_[order[i]];
+    }
+    edges_ = std::move(sorted_edges);
+    edge_weights_ = std::move(sorted_weights);
+  }
+
+  for (const auto& [u, v] : edges_) {
+    if (u >= num_nodes_ || v >= num_nodes_) {
+      throw std::out_of_range("CsrGraph: edge endpoint out of range");
+    }
+    if (u >= v) {
+      throw std::invalid_argument("CsrGraph: edges must be canonical (u < v, no self-loops)");
+    }
+  }
+
+  // Counting sort into CSR.
+  offsets_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+
+  adjacency_.resize(offsets_.back());
+  if (!edge_weights_.empty()) adjacency_weights_.resize(offsets_.back());
+  std::vector<EdgeId> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const auto [u, v] = edges_[e];
+    adjacency_[cursor[u]] = v;
+    adjacency_[cursor[v]] = u;
+    if (!edge_weights_.empty()) {
+      adjacency_weights_[cursor[u]] = edge_weights_[e];
+      adjacency_weights_[cursor[v]] = edge_weights_[e];
+    }
+    ++cursor[u];
+    ++cursor[v];
+  }
+
+  // Sort each neighbor list (weights follow their neighbor).
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const auto lo = offsets_[v];
+    const auto hi = offsets_[v + 1];
+    if (adjacency_weights_.empty()) {
+      std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(lo),
+                adjacency_.begin() + static_cast<std::ptrdiff_t>(hi));
+    } else {
+      std::vector<std::pair<NodeId, float>> entries;
+      entries.reserve(hi - lo);
+      for (EdgeId i = lo; i < hi; ++i) entries.emplace_back(adjacency_[i], adjacency_weights_[i]);
+      std::sort(entries.begin(), entries.end());
+      for (EdgeId i = lo; i < hi; ++i) {
+        adjacency_[i] = entries[i - lo].first;
+        adjacency_weights_[i] = entries[i - lo].second;
+      }
+    }
+  }
+}
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= num_nodes_ || v >= num_nodes_ || u == v) return false;
+  // Search the smaller list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto list = neighbors(u);
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+NodeId CsrGraph::max_degree() const noexcept {
+  NodeId best = 0;
+  for (NodeId v = 0; v < num_nodes_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+double CsrGraph::mean_degree() const noexcept {
+  if (num_nodes_ == 0) return 0.0;
+  return static_cast<double>(total_degree()) / static_cast<double>(num_nodes_);
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, float weight) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::out_of_range("GraphBuilder: endpoint out of range");
+  }
+  if (u == v) return;  // drop self-loops
+  if (u > v) std::swap(u, v);
+  pending_.push_back(Edge{u, v});
+  if (weighted_) pending_weights_.push_back(weight);
+  deduped_ = false;
+}
+
+void GraphBuilder::dedupe() const {
+  if (deduped_) return;
+  deduped_edges_.clear();
+  deduped_weights_.clear();
+  if (pending_.empty()) {
+    deduped_ = true;
+    return;
+  }
+  std::vector<std::size_t> order(pending_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return pending_[a] < pending_[b]; });
+  deduped_edges_.reserve(pending_.size());
+  if (weighted_) deduped_weights_.reserve(pending_.size());
+  for (const std::size_t i : order) {
+    if (!deduped_edges_.empty() && deduped_edges_.back() == pending_[i]) {
+      // Duplicate: sum weights (the sparsifier's "sum weights if an edge is
+      // chosen more than once" rule relies on this).
+      if (weighted_) deduped_weights_.back() += pending_weights_[i];
+      continue;
+    }
+    deduped_edges_.push_back(pending_[i]);
+    if (weighted_) deduped_weights_.push_back(pending_weights_[i]);
+  }
+  deduped_ = true;
+}
+
+EdgeId GraphBuilder::num_edges() const noexcept {
+  dedupe();
+  return static_cast<EdgeId>(deduped_edges_.size());
+}
+
+CsrGraph GraphBuilder::build() {
+  dedupe();
+  pending_.clear();
+  pending_weights_.clear();
+  CsrGraph graph(num_nodes_, std::move(deduped_edges_), std::move(deduped_weights_));
+  deduped_edges_.clear();
+  deduped_weights_.clear();
+  deduped_ = true;
+  return graph;
+}
+
+}  // namespace splpg::graph

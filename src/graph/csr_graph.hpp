@@ -1,0 +1,132 @@
+// Core immutable graph type: undirected graph in compressed-sparse-row form.
+//
+// Neighbor lists are sorted, enabling O(log d) `has_edge` queries (used by the
+// negative samplers to reject connected pairs). A canonical edge list (u < v)
+// is kept alongside the CSR arrays because several components iterate or
+// sample over *edges*: the train/val/test splitter, the positive-sample
+// mini-batcher, and the effective-resistance sparsifier.
+//
+// Graphs may carry per-edge weights (the sparsifier's output re-weights
+// sampled edges per Theorem 1); unweighted graphs have an empty weight array
+// and an implicit weight of 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace splpg::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Canonical undirected edge with u < v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from a canonical edge list. `edges` must be deduplicated,
+  /// self-loop free, and have u < v for each entry (GraphBuilder guarantees
+  /// this). `weights`, if non-empty, is parallel to `edges`.
+  CsrGraph(NodeId num_nodes, std::vector<Edge> edges, std::vector<float> weights = {});
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] EdgeId num_edges() const noexcept { return static_cast<EdgeId>(edges_.size()); }
+  [[nodiscard]] bool is_weighted() const noexcept { return !edge_weights_.empty(); }
+
+  /// Degree of node `v` (number of distinct neighbors).
+  [[nodiscard]] NodeId degree(NodeId v) const noexcept {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor list of `v`.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {adjacency_.data() + offsets_[v], adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Weights parallel to `neighbors(v)`. Empty span for unweighted graphs.
+  [[nodiscard]] std::span<const float> neighbor_weights(NodeId v) const noexcept {
+    if (adjacency_weights_.empty()) return {};
+    return {adjacency_weights_.data() + offsets_[v], adjacency_weights_.data() + offsets_[v + 1]};
+  }
+
+  /// True iff the undirected edge (u, v) exists. O(log min(du, dv)).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Canonical (u < v) deduplicated edge list.
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// Per-canonical-edge weights; empty for unweighted graphs.
+  [[nodiscard]] std::span<const float> edge_weights() const noexcept { return edge_weights_; }
+
+  /// Weight of canonical edge index `e` (1 for unweighted graphs).
+  [[nodiscard]] float edge_weight(EdgeId e) const noexcept {
+    return edge_weights_.empty() ? 1.0F : edge_weights_[e];
+  }
+
+  /// Sum over nodes of degree (== 2 * num_edges()).
+  [[nodiscard]] EdgeId total_degree() const noexcept { return adjacency_.size(); }
+
+  /// Maximum degree over all nodes (0 for the empty graph).
+  [[nodiscard]] NodeId max_degree() const noexcept;
+
+  /// Mean degree (0 for the empty graph).
+  [[nodiscard]] double mean_degree() const noexcept;
+
+  /// Bytes needed to transmit the adjacency list of `v` (structure only):
+  /// degree * sizeof(NodeId) + the offset entry. Used by dist::CommMeter.
+  [[nodiscard]] std::uint64_t structure_bytes(NodeId v) const noexcept {
+    return static_cast<std::uint64_t>(degree(v)) * sizeof(NodeId) + sizeof(EdgeId);
+  }
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<EdgeId> offsets_;          // size num_nodes_ + 1
+  std::vector<NodeId> adjacency_;        // size 2 * |E|, sorted per node
+  std::vector<float> adjacency_weights_; // parallel to adjacency_ (may be empty)
+  std::vector<Edge> edges_;              // canonical list, sorted
+  std::vector<float> edge_weights_;      // parallel to edges_ (may be empty)
+};
+
+/// Incremental, order-insensitive graph construction. Deduplicates edges
+/// (summing weights of duplicates when weighted) and drops self-loops.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes, bool weighted = false)
+      : num_nodes_(num_nodes), weighted_(weighted) {}
+
+  /// Adds an undirected edge; (u, v) and (v, u) are the same edge.
+  /// Self-loops are silently ignored. Out-of-range endpoints are an error.
+  void add_edge(NodeId u, NodeId v, float weight = 1.0F);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  /// Number of distinct edges added so far.
+  [[nodiscard]] EdgeId num_edges() const noexcept;
+
+  /// Finalizes into an immutable CsrGraph. The builder is left empty.
+  [[nodiscard]] CsrGraph build();
+
+ private:
+  NodeId num_nodes_;
+  bool weighted_;
+  std::vector<Edge> pending_;
+  std::vector<float> pending_weights_;
+  mutable bool deduped_ = true;
+
+  void dedupe() const;
+  mutable std::vector<Edge> deduped_edges_;
+  mutable std::vector<float> deduped_weights_;
+};
+
+}  // namespace splpg::graph

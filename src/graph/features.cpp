@@ -1,0 +1,16 @@
+#include "graph/features.hpp"
+
+#include <algorithm>
+
+namespace splpg::graph {
+
+FeatureStore FeatureStore::gather(std::span<const NodeId> nodes) const {
+  FeatureStore out(static_cast<NodeId>(nodes.size()), dim_);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto src = row(nodes[i]);
+    std::copy(src.begin(), src.end(), out.row(static_cast<NodeId>(i)).begin());
+  }
+  return out;
+}
+
+}  // namespace splpg::graph

@@ -1,0 +1,61 @@
+// Dense per-node feature storage.
+//
+// Kept in the graph module (not tensor) so graph/partition/sampling code can
+// move feature rows around without depending on the autograd engine. A
+// feature row is `dim` floats; `feature_bytes()` is what dist::CommMeter
+// charges for shipping one node's features.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace splpg::graph {
+
+class FeatureStore {
+ public:
+  FeatureStore() = default;
+
+  FeatureStore(NodeId num_nodes, std::uint32_t dim)
+      : num_nodes_(num_nodes), dim_(dim),
+        data_(static_cast<std::size_t>(num_nodes) * dim, 0.0F) {}
+
+  FeatureStore(NodeId num_nodes, std::uint32_t dim, std::vector<float> data)
+      : num_nodes_(num_nodes), dim_(dim), data_(std::move(data)) {
+    if (data_.size() != static_cast<std::size_t>(num_nodes) * dim) {
+      throw std::invalid_argument("FeatureStore: data size mismatch");
+    }
+  }
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::span<const float> row(NodeId v) const noexcept {
+    return {data_.data() + static_cast<std::size_t>(v) * dim_, dim_};
+  }
+  [[nodiscard]] std::span<float> row(NodeId v) noexcept {
+    return {data_.data() + static_cast<std::size_t>(v) * dim_, dim_};
+  }
+
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  /// Bytes to transmit one node's feature row.
+  [[nodiscard]] std::uint64_t feature_bytes() const noexcept {
+    return static_cast<std::uint64_t>(dim_) * sizeof(float);
+  }
+
+  /// Gathers rows for `nodes` into a new contiguous store (used when
+  /// materializing a partition's local feature matrix X^i).
+  [[nodiscard]] FeatureStore gather(std::span<const NodeId> nodes) const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::uint32_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace splpg::graph

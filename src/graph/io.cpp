@@ -1,0 +1,104 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/serialize.hpp"
+
+namespace splpg::graph {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x53504C47;  // "SPLG"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void save_graph(std::ostream& out, const CsrGraph& graph, const FeatureStore& features) {
+  using util::write_pod;
+  using util::write_vector;
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod<std::uint32_t>(out, graph.num_nodes());
+
+  std::vector<Edge> edges(graph.edges().begin(), graph.edges().end());
+  write_vector(out, edges);
+  std::vector<float> weights(graph.edge_weights().begin(), graph.edge_weights().end());
+  write_vector(out, weights);
+
+  write_pod<std::uint32_t>(out, features.dim());
+  std::vector<float> data(features.data().begin(), features.data().end());
+  write_vector(out, data);
+  if (!out) throw std::runtime_error("save_graph: write failed");
+}
+
+void save_graph_file(const std::string& path, const CsrGraph& graph,
+                     const FeatureStore& features) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_graph_file: cannot open " + path);
+  save_graph(out, graph, features);
+}
+
+GraphBundle load_graph(std::istream& in) {
+  using util::read_pod;
+  using util::read_vector;
+  if (read_pod<std::uint32_t>(in) != kMagic) throw std::runtime_error("load_graph: bad magic");
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("load_graph: unsupported version");
+  }
+  const auto num_nodes = read_pod<std::uint32_t>(in);
+  auto edges = read_vector<Edge>(in);
+  auto weights = read_vector<float>(in);
+  const auto dim = read_pod<std::uint32_t>(in);
+  auto data = read_vector<float>(in);
+
+  GraphBundle bundle;
+  bundle.graph = CsrGraph(num_nodes, std::move(edges), std::move(weights));
+  if (dim > 0) {
+    bundle.features = FeatureStore(num_nodes, dim, std::move(data));
+  }
+  return bundle;
+}
+
+GraphBundle load_graph_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_graph_file: cannot open " + path);
+  return load_graph(in);
+}
+
+CsrGraph load_edge_list(std::istream& in, bool renumber) {
+  std::vector<std::pair<NodeId, NodeId>> raw;
+  std::unordered_map<NodeId, NodeId> remap;
+  NodeId max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream stream(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(stream >> u >> v)) continue;
+    auto map_id = [&](std::uint64_t id) -> NodeId {
+      if (!renumber) {
+        max_id = std::max(max_id, static_cast<NodeId>(id));
+        return static_cast<NodeId>(id);
+      }
+      const auto [it, inserted] =
+          remap.emplace(static_cast<NodeId>(id), static_cast<NodeId>(remap.size()));
+      (void)inserted;
+      return it->second;
+    };
+    raw.emplace_back(map_id(u), map_id(v));
+  }
+  const NodeId num_nodes = renumber ? static_cast<NodeId>(remap.size())
+                                    : (raw.empty() ? 0 : max_id + 1);
+  GraphBuilder builder(num_nodes);
+  for (const auto& [u, v] : raw) builder.add_edge(u, v);
+  return builder.build();
+}
+
+void save_edge_list(std::ostream& out, const CsrGraph& graph) {
+  out << "# nodes=" << graph.num_nodes() << " edges=" << graph.num_edges() << "\n";
+  for (const auto& [u, v] : graph.edges()) out << u << " " << v << "\n";
+}
+
+}  // namespace splpg::graph

@@ -1,0 +1,35 @@
+// Graph + feature persistence.
+//
+// Binary format (magic "SPLG", version 1): node count, canonical edge list,
+// optional weights, optional feature matrix. Also reads whitespace-separated
+// text edge lists ("u v" per line, '#' comments) for interoperability.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "graph/features.hpp"
+
+namespace splpg::graph {
+
+struct GraphBundle {
+  CsrGraph graph;
+  FeatureStore features;  // may be empty
+};
+
+void save_graph(std::ostream& out, const CsrGraph& graph, const FeatureStore& features);
+void save_graph_file(const std::string& path, const CsrGraph& graph,
+                     const FeatureStore& features);
+
+[[nodiscard]] GraphBundle load_graph(std::istream& in);
+[[nodiscard]] GraphBundle load_graph_file(const std::string& path);
+
+/// Parses a text edge list. Node ids are renumbered densely in first-seen
+/// order if `renumber` is true; otherwise ids are used as-is and
+/// `num_nodes = max_id + 1`.
+[[nodiscard]] CsrGraph load_edge_list(std::istream& in, bool renumber = false);
+
+void save_edge_list(std::ostream& out, const CsrGraph& graph);
+
+}  // namespace splpg::graph

@@ -1,0 +1,45 @@
+#include "graph/subgraph.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace splpg::graph {
+
+Subgraph induced_subgraph(const CsrGraph& graph, std::span<const NodeId> nodes) {
+  Subgraph out;
+  out.local_to_global.assign(nodes.begin(), nodes.end());
+  out.global_to_local.reserve(nodes.size() * 2);
+  for (NodeId local = 0; local < nodes.size(); ++local) {
+    const auto [it, inserted] = out.global_to_local.emplace(nodes[local], local);
+    (void)it;
+    if (!inserted) throw std::invalid_argument("induced_subgraph: duplicate node");
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(nodes.size()));
+  for (NodeId local = 0; local < nodes.size(); ++local) {
+    const NodeId global = nodes[local];
+    for (const NodeId neighbor : graph.neighbors(global)) {
+      if (neighbor <= global) continue;  // visit each edge once
+      const auto it = out.global_to_local.find(neighbor);
+      if (it != out.global_to_local.end()) builder.add_edge(local, it->second);
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+CsrGraph edge_subgraph(const CsrGraph& graph, const std::vector<bool>& edge_mask,
+                       std::span<const float> weights) {
+  assert(edge_mask.size() == graph.num_edges());
+  std::vector<Edge> kept;
+  std::vector<float> kept_weights;
+  const auto edges = graph.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (!edge_mask[e]) continue;
+    kept.push_back(edges[e]);
+    if (!weights.empty()) kept_weights.push_back(weights[e]);
+  }
+  return CsrGraph(graph.num_nodes(), std::move(kept), std::move(kept_weights));
+}
+
+}  // namespace splpg::graph

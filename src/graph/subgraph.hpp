@@ -1,0 +1,44 @@
+// Subgraph extraction with local<->global id mapping.
+//
+// Partitioned subgraphs G^i live in local id space; the mapping arrays let
+// samplers translate between a worker's local ids and master/global ids.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace splpg::graph {
+
+struct Subgraph {
+  CsrGraph graph;                           // in local id space
+  std::vector<NodeId> local_to_global;      // size graph.num_nodes()
+  std::unordered_map<NodeId, NodeId> global_to_local;
+
+  [[nodiscard]] NodeId to_global(NodeId local) const { return local_to_global[local]; }
+
+  /// kInvalidNode when the global node is not present.
+  [[nodiscard]] NodeId to_local(NodeId global) const {
+    const auto it = global_to_local.find(global);
+    return it == global_to_local.end() ? kInvalidNode : it->second;
+  }
+
+  [[nodiscard]] bool contains(NodeId global) const {
+    return global_to_local.contains(global);
+  }
+};
+
+/// Node-induced subgraph: keeps `nodes` and every edge with both endpoints in
+/// `nodes`. `nodes` must be duplicate-free.
+[[nodiscard]] Subgraph induced_subgraph(const CsrGraph& graph, std::span<const NodeId> nodes);
+
+/// Edge subgraph over the *same* node universe: keeps all nodes of `graph`
+/// and only the edges whose (canonical) index appears in `edge_mask`.
+/// `weights`, if non-empty, supplies the kept edges' weights (parallel to the
+/// canonical edge list of the result).
+[[nodiscard]] CsrGraph edge_subgraph(const CsrGraph& graph, const std::vector<bool>& edge_mask,
+                                     std::span<const float> weights = {});
+
+}  // namespace splpg::graph

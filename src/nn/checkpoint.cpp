@@ -1,0 +1,62 @@
+#include "nn/checkpoint.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace splpg::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x53504C4D;  // "SPLM"
+}
+
+void save_parameters(std::ostream& out, const Module& module) {
+  using util::write_pod;
+  write_pod(out, kMagic);
+  write_pod<std::uint64_t>(out, module.parameters().size());
+  for (const auto& p : module.parameters()) {
+    write_pod<std::uint64_t>(out, p.value().rows());
+    write_pod<std::uint64_t>(out, p.value().cols());
+    const auto data = p.value().data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_parameters: write failed");
+}
+
+void save_parameters_file(const std::string& path, const Module& module) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_parameters_file: cannot open " + path);
+  save_parameters(out, module);
+}
+
+void load_parameters(std::istream& in, Module& module) {
+  using util::read_pod;
+  if (read_pod<std::uint32_t>(in) != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic");
+  }
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count != module.parameters().size()) {
+    throw std::invalid_argument("load_parameters: parameter count mismatch");
+  }
+  for (auto& p : module.parameters()) {
+    const auto rows = read_pod<std::uint64_t>(in);
+    const auto cols = read_pod<std::uint64_t>(in);
+    if (rows != p.value().rows() || cols != p.value().cols()) {
+      throw std::invalid_argument("load_parameters: shape mismatch");
+    }
+    auto data = p.mutable_value().data();
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_parameters: unexpected end of stream");
+  }
+}
+
+void load_parameters_file(const std::string& path, Module& module) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters_file: cannot open " + path);
+  load_parameters(in, module);
+}
+
+}  // namespace splpg::nn

@@ -1,0 +1,23 @@
+// Model checkpointing: (de)serialize a Module's parameter list.
+//
+// Format: magic, parameter count, then each parameter's shape + row-major
+// float data. Loading requires an identically constructed module (same
+// config), mirroring PyTorch's state_dict contract.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace splpg::nn {
+
+void save_parameters(std::ostream& out, const Module& module);
+void save_parameters_file(const std::string& path, const Module& module);
+
+/// Throws std::runtime_error on format errors and std::invalid_argument on
+/// arity/shape mismatches with the destination module.
+void load_parameters(std::istream& in, Module& module);
+void load_parameters_file(const std::string& path, Module& module);
+
+}  // namespace splpg::nn

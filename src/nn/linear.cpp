@@ -1,0 +1,38 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "tensor/init.hpp"
+
+namespace splpg::nn {
+
+using tensor::Tensor;
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, util::Rng& rng) {
+  weight_ = register_parameter(tensor::xavier_uniform(in_dim, out_dim, rng));
+  bias_ = register_parameter(tensor::zeros(1, out_dim));
+}
+
+Tensor Linear::forward(const Tensor& input) const {
+  return add(matmul(input, weight_), bias_);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, util::Rng& rng) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need at least {in, out} dims");
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+  for (auto& layer : layers_) register_module(layer);
+}
+
+Tensor Mlp::forward(const Tensor& input) const {
+  Tensor h = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward(h);
+    if (i + 1 < layers_.size()) h = relu(h);
+  }
+  return h;
+}
+
+}  // namespace splpg::nn

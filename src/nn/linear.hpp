@@ -1,0 +1,39 @@
+// Fully connected layers and the MLP used as the paper's edge predictor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/autograd.hpp"
+#include "util/rng.hpp"
+
+namespace splpg::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_dim, std::size_t out_dim, util::Rng& rng);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input) const;
+
+  [[nodiscard]] std::size_t in_dim() const noexcept { return weight_.rows(); }
+  [[nodiscard]] std::size_t out_dim() const noexcept { return weight_.cols(); }
+
+ private:
+  tensor::Tensor weight_;  // in x out
+  tensor::Tensor bias_;    // 1 x out
+};
+
+/// Plain MLP: Linear -> ReLU -> ... -> Linear (no activation on the output).
+class Mlp : public Module {
+ public:
+  /// `dims` = {in, hidden..., out}; needs at least {in, out}.
+  Mlp(const std::vector<std::size_t>& dims, util::Rng& rng);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input) const;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace splpg::nn

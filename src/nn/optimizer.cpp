@@ -1,0 +1,48 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace splpg::nn {
+
+void Sgd::step() {
+  for (auto& p : *parameters_) {
+    if (p.grad().empty()) continue;
+    auto& value = p.mutable_value();
+    if (weight_decay_ > 0.0F) value.scale_inplace(1.0F - learning_rate_ * weight_decay_);
+    value.axpy_inplace(-learning_rate_, p.grad());
+  }
+}
+
+Adam::Adam(Module& module, float learning_rate, float beta1, float beta2, float epsilon)
+    : Optimizer(module), learning_rate_(learning_rate), beta1_(beta1), beta2_(beta2),
+      epsilon_(epsilon) {
+  m_.reserve(parameters_->size());
+  v_.reserve(parameters_->size());
+  for (const auto& p : *parameters_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bias1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < parameters_->size(); ++i) {
+    auto& p = (*parameters_)[i];
+    if (p.grad().empty()) continue;
+    const auto grad = p.grad().data();
+    const auto m = m_[i].data();
+    const auto v = v_[i].data();
+    const auto value = p.mutable_value().data();
+    for (std::size_t j = 0; j < grad.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0F - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0F - beta2_) * grad[j] * grad[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace splpg::nn

@@ -1,0 +1,60 @@
+// First-order optimizers over a Module's parameter list.
+//
+// Workers keep per-replica optimizer state; with gradient averaging the
+// replicas stay bit-identical (same init, same averaged gradients, same
+// deterministic update), which mirrors PyTorch DDP semantics.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/matrix.hpp"
+
+namespace splpg::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(Module& module) : parameters_(&module.parameters()) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the current gradients.
+  virtual void step() = 0;
+
+  void zero_grad() noexcept {
+    for (auto& p : *parameters_) p.zero_grad();
+  }
+
+ protected:
+  std::vector<tensor::Tensor>* parameters_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(Module& module, float learning_rate, float weight_decay = 0.0F)
+      : Optimizer(module), learning_rate_(learning_rate), weight_decay_(weight_decay) {}
+
+  void step() override;
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(Module& module, float learning_rate = 1e-3F, float beta1 = 0.9F, float beta2 = 0.999F,
+       float epsilon = 1e-8F);
+
+  void step() override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  std::uint64_t t_ = 0;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+};
+
+}  // namespace splpg::nn

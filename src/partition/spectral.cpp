@@ -1,0 +1,101 @@
+#include "partition/spectral.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/subgraph.hpp"
+#include "tensor/eigen.hpp"
+
+namespace splpg::partition {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+namespace {
+
+/// Splits `nodes` (global ids) by the Fiedler vector of the induced
+/// subgraph, putting the `left_count` smallest-valued nodes on the left (so
+/// uneven part shares stay balanced). Falls back to an arbitrary ordered
+/// split when the subgraph is too small or degenerate.
+std::pair<std::vector<NodeId>, std::vector<NodeId>> bisect(const CsrGraph& graph,
+                                                           const std::vector<NodeId>& nodes,
+                                                           std::size_t left_count) {
+  const auto sub = graph::induced_subgraph(graph, nodes);
+  const NodeId n = sub.graph.num_nodes();
+
+  std::vector<std::pair<double, NodeId>> keyed;  // (fiedler value, global id)
+  keyed.reserve(n);
+  if (n >= 3 && sub.graph.num_edges() > 0) {
+    // Dense combinatorial Laplacian of the induced subgraph.
+    tensor::Matrix laplacian(n, n);
+    for (const auto& [u, v] : sub.graph.edges()) {
+      laplacian.at(u, v) -= 1.0F;
+      laplacian.at(v, u) -= 1.0F;
+      laplacian.at(u, u) += 1.0F;
+      laplacian.at(v, v) += 1.0F;
+    }
+    const auto decomposition = tensor::symmetric_eigen(laplacian);
+    for (NodeId local = 0; local < n; ++local) {
+      keyed.emplace_back(decomposition.eigenvectors.at(local, 1), sub.to_global(local));
+    }
+  } else {
+    for (NodeId local = 0; local < n; ++local) {
+      keyed.emplace_back(static_cast<double>(local), sub.to_global(local));
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::pair<std::vector<NodeId>, std::vector<NodeId>> out;
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    (i < left_count ? out.first : out.second).push_back(keyed[i].second);
+  }
+  return out;
+}
+
+}  // namespace
+
+PartitionResult SpectralPartitioner::partition(const CsrGraph& graph, std::uint32_t num_parts,
+                                               util::Rng& rng) const {
+  (void)rng;  // deterministic; kept for interface symmetry
+  if (num_parts == 0) throw std::invalid_argument("partition: num_parts must be >= 1");
+  if (graph.num_nodes() > max_nodes_) {
+    throw std::invalid_argument("SpectralPartitioner: graph exceeds max_nodes guard");
+  }
+  PartitionResult result;
+  result.num_parts = num_parts;
+  result.assignment.assign(graph.num_nodes(), 0);
+  if (graph.num_nodes() == 0 || num_parts == 1) return result;
+
+  // Work queue of (node set, parts to carve out of it); recursive bisection
+  // assigns ceil/floor shares so any part count is supported.
+  struct Task {
+    std::vector<NodeId> nodes;
+    std::uint32_t parts;
+    std::uint32_t first_part;
+  };
+  std::vector<NodeId> all(graph.num_nodes());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  std::vector<Task> queue{{std::move(all), num_parts, 0}};
+
+  while (!queue.empty()) {
+    Task task = std::move(queue.back());
+    queue.pop_back();
+    if (task.parts == 1) {
+      for (const NodeId v : task.nodes) result.assignment[v] = task.first_part;
+      continue;
+    }
+    const std::uint32_t left_parts = task.parts / 2;
+    const std::uint32_t right_parts = task.parts - left_parts;
+    // Cut at the point that gives each side a node share proportional to its
+    // part share.
+    const auto left_count = static_cast<std::size_t>(
+        static_cast<double>(task.nodes.size()) * left_parts / task.parts);
+    auto [left, right] = bisect(graph, task.nodes, left_count);
+    queue.push_back({std::move(left), left_parts, task.first_part});
+    queue.push_back({std::move(right), right_parts, task.first_part + left_parts});
+  }
+  return result;
+}
+
+}  // namespace splpg::partition

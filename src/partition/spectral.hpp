@@ -1,0 +1,28 @@
+// Spectral partitioning via recursive Fiedler-vector bisection.
+//
+// A classical alternative to multilevel partitioning: split by the sign
+// (median) of the second eigenvector of the graph Laplacian, recursing until
+// the requested part count is reached. Uses the dense Jacobi eigensolver, so
+// it is O(n^3) — a reference/validation partitioner for small graphs, not a
+// production path (MetisLikePartitioner is the production path). Included in
+// the partitioner ablation bench as a quality yardstick.
+#pragma once
+
+#include "partition/partitioner.hpp"
+
+namespace splpg::partition {
+
+class SpectralPartitioner final : public Partitioner {
+ public:
+  /// Refuses graphs larger than `max_nodes` (eigendecomposition cost guard).
+  explicit SpectralPartitioner(graph::NodeId max_nodes = 4000) : max_nodes_(max_nodes) {}
+
+  [[nodiscard]] PartitionResult partition(const graph::CsrGraph& graph, std::uint32_t num_parts,
+                                          util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "spectral"; }
+
+ private:
+  graph::NodeId max_nodes_;
+};
+
+}  // namespace splpg::partition

@@ -1,0 +1,80 @@
+#include "sampling/edge_split.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace splpg::sampling {
+
+using graph::CsrGraph;
+using graph::Edge;
+using graph::NodeId;
+using util::Rng;
+
+LinkSplit split_edges(const CsrGraph& graph, const SplitOptions& options, Rng& rng) {
+  const auto edges = graph.edges();
+  if (edges.size() < 10) throw std::invalid_argument("split_edges: need at least 10 edges");
+  if (options.train_fraction <= 0.0 || options.train_fraction + options.val_fraction >= 1.0) {
+    throw std::invalid_argument("split_edges: bad fractions");
+  }
+
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(order));
+
+  const auto train_count =
+      static_cast<std::size_t>(options.train_fraction * static_cast<double>(edges.size()));
+  const auto val_count =
+      static_cast<std::size_t>(options.val_fraction * static_cast<double>(edges.size()));
+
+  LinkSplit split;
+  split.train_pos.reserve(train_count);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Edge edge = edges[order[i]];
+    if (i < train_count) {
+      split.train_pos.push_back(edge);
+    } else if (i < train_count + val_count) {
+      split.val_pos.push_back(edge);
+    } else {
+      split.test_pos.push_back(edge);
+    }
+  }
+
+  split.train_graph = CsrGraph(graph.num_nodes(),
+                               std::vector<Edge>(split.train_pos.begin(), split.train_pos.end()));
+  // Negatives are non-edges of the FULL graph: a val/test positive must never
+  // appear as a negative.
+  split.val_neg =
+      sample_global_negatives(graph, split.val_pos.size() * options.eval_negative_ratio, rng);
+  split.test_neg =
+      sample_global_negatives(graph, split.test_pos.size() * options.eval_negative_ratio, rng);
+  return split;
+}
+
+std::vector<NodePair> sample_global_negatives(const CsrGraph& graph, std::size_t count,
+                                              Rng& rng) {
+  const NodeId n = graph.num_nodes();
+  if (n < 2) throw std::invalid_argument("sample_global_negatives: need >= 2 nodes");
+  // Guard against dense graphs where negatives are scarce.
+  const auto max_pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (graph.num_edges() + count > max_pairs) {
+    throw std::invalid_argument("sample_global_negatives: not enough non-edges");
+  }
+
+  std::set<std::pair<NodeId, NodeId>> used;
+  std::vector<NodePair> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    auto u = static_cast<NodeId>(rng.uniform_u64(n));
+    auto v = static_cast<NodeId>(rng.uniform_u64(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (graph.has_edge(u, v)) continue;
+    if (!used.emplace(u, v).second) continue;
+    out.push_back(NodePair{u, v});
+  }
+  return out;
+}
+
+}  // namespace splpg::sampling

@@ -1,0 +1,48 @@
+// Train/validation/test edge splitting for link prediction.
+//
+// Follows the paper's protocol (§V-A): 80% of edges for training, 10%
+// validation, 10% test; message passing uses only the training edges (the
+// "train graph") so that held-out edges are never leaked through
+// neighborhoods. Evaluation negatives are drawn globally uniform, fixed once
+// (3x the positives for val/test, per DGL convention).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "util/rng.hpp"
+
+namespace splpg::sampling {
+
+struct NodePair {
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  friend bool operator==(const NodePair&, const NodePair&) = default;
+};
+
+struct LinkSplit {
+  graph::CsrGraph train_graph;          // message-passing graph (train edges only)
+  std::vector<graph::Edge> train_pos;
+  std::vector<graph::Edge> val_pos;
+  std::vector<graph::Edge> test_pos;
+  std::vector<NodePair> val_neg;        // 3x val_pos, fixed
+  std::vector<NodePair> test_neg;       // 3x test_pos, fixed
+};
+
+struct SplitOptions {
+  double train_fraction = 0.8;
+  double val_fraction = 0.1;   // remainder is test
+  std::uint32_t eval_negative_ratio = 3;
+};
+
+/// Deterministic given rng state. Requires at least 10 edges.
+[[nodiscard]] LinkSplit split_edges(const graph::CsrGraph& graph, const SplitOptions& options,
+                                    util::Rng& rng);
+
+/// Draws `count` global-uniform negative pairs (u != v, (u,v) not an edge of
+/// `graph`). Rejection-sampled; pairs may repeat across calls but not within.
+[[nodiscard]] std::vector<NodePair> sample_global_negatives(const graph::CsrGraph& graph,
+                                                            std::size_t count, util::Rng& rng);
+
+}  // namespace splpg::sampling

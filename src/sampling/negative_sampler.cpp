@@ -1,0 +1,83 @@
+#include "sampling/negative_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace splpg::sampling {
+
+using graph::Edge;
+using graph::NodeId;
+using util::Rng;
+
+PerSourceNegativeSampler::PerSourceNegativeSampler(std::vector<NodeId> candidates,
+                                                   EdgeOracle is_edge,
+                                                   std::vector<double> candidate_weights)
+    : candidates_(std::move(candidates)), is_edge_(std::move(is_edge)) {
+  if (candidates_.size() < 2) {
+    throw std::invalid_argument("PerSourceNegativeSampler: need >= 2 candidates");
+  }
+  if (!candidate_weights.empty()) {
+    if (candidate_weights.size() != candidates_.size()) {
+      throw std::invalid_argument("PerSourceNegativeSampler: weight arity mismatch");
+    }
+    weighted_ = util::AliasTable{std::span<const double>(candidate_weights)};
+  }
+}
+
+NodeId PerSourceNegativeSampler::sample_destination(NodeId source, Rng& rng,
+                                                    std::uint32_t max_tries) const {
+  NodeId last = candidates_[0];
+  for (std::uint32_t attempt = 0; attempt < max_tries; ++attempt) {
+    const NodeId candidate = weighted_.empty()
+                                 ? candidates_[rng.uniform_u64(candidates_.size())]
+                                 : candidates_[weighted_.sample(rng)];
+    last = candidate;
+    if (candidate == source) continue;
+    if (is_edge_(source, candidate)) continue;
+    return candidate;
+  }
+  return last;
+}
+
+std::vector<double> negative_candidate_weights(NegativeDistribution distribution,
+                                               const graph::CsrGraph& graph,
+                                               std::span<const NodeId> candidates) {
+  if (distribution == NegativeDistribution::kUniform) return {};
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (const NodeId v : candidates) {
+    weights.push_back(std::pow(static_cast<double>(graph.degree(v)) + 1.0, 0.75));
+  }
+  return weights;
+}
+
+std::vector<NodePair> PerSourceNegativeSampler::sample_for_batch(std::span<const Edge> positives,
+                                                                 Rng& rng) const {
+  std::vector<NodePair> out;
+  out.reserve(positives.size());
+  for (const auto& [u, v] : positives) {
+    (void)v;
+    out.push_back(NodePair{u, sample_destination(u, rng)});
+  }
+  return out;
+}
+
+BatchIterator::BatchIterator(std::span<const Edge> positives, std::uint32_t batch_size)
+    : positives_(positives.begin(), positives.end()), batch_size_(std::max(1U, batch_size)) {}
+
+void BatchIterator::reset(Rng& rng) {
+  rng.shuffle(std::span<Edge>(positives_));
+  cursor_ = 0;
+}
+
+std::vector<Edge> BatchIterator::next() {
+  if (cursor_ >= positives_.size()) return {};
+  const std::size_t end = std::min(positives_.size(), cursor_ + batch_size_);
+  std::vector<Edge> batch(positives_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                          positives_.begin() + static_cast<std::ptrdiff_t>(end));
+  cursor_ = end;
+  return batch;
+}
+
+}  // namespace splpg::sampling

@@ -1,0 +1,98 @@
+#include "sampling/neighbor_sampler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace splpg::sampling {
+
+using graph::NodeId;
+using util::Rng;
+
+void GraphProvider::append_neighbors(NodeId v, std::vector<NodeId>& neighbors,
+                                     std::vector<float>& weights) {
+  const auto adjacent = graph_->neighbors(v);
+  const auto adjacent_weights = graph_->neighbor_weights(v);
+  neighbors.insert(neighbors.end(), adjacent.begin(), adjacent.end());
+  if (adjacent_weights.empty()) {
+    weights.insert(weights.end(), adjacent.size(), 1.0F);
+  } else {
+    weights.insert(weights.end(), adjacent_weights.begin(), adjacent_weights.end());
+  }
+}
+
+std::size_t ComputationGraph::total_edges() const noexcept {
+  std::size_t total = 0;
+  for (const auto& block : blocks) total += block.num_edges();
+  return total;
+}
+
+NeighborSampler::NeighborSampler(std::vector<std::uint32_t> fanouts)
+    : fanouts_(std::move(fanouts)) {
+  if (fanouts_.empty()) throw std::invalid_argument("NeighborSampler: need >= 1 layer");
+}
+
+ComputationGraph NeighborSampler::sample(AdjacencyProvider& adjacency,
+                                         std::span<const NodeId> seeds, Rng& rng) const {
+  // Deduplicate seeds, preserving first-seen order.
+  std::vector<NodeId> dst;
+  {
+    std::unordered_map<NodeId, std::uint32_t> index;
+    index.reserve(seeds.size() * 2);
+    for (const NodeId s : seeds) {
+      if (index.emplace(s, static_cast<std::uint32_t>(dst.size())).second) dst.push_back(s);
+    }
+  }
+  if (dst.empty()) throw std::invalid_argument("NeighborSampler: empty seed set");
+
+  ComputationGraph out;
+  out.blocks.resize(fanouts_.size());
+
+  std::vector<NodeId> scratch_neighbors;
+  std::vector<float> scratch_weights;
+
+  // Build from the seed layer (last block) towards the inputs.
+  for (std::size_t layer = fanouts_.size(); layer-- > 0;) {
+    Block& block = out.blocks[layer];
+    block.dst_count = dst.size();
+    block.src_nodes = dst;  // dst prefix
+
+    std::unordered_map<NodeId, std::uint32_t> src_index;
+    src_index.reserve(dst.size() * 4);
+    for (std::uint32_t i = 0; i < dst.size(); ++i) src_index.emplace(dst[i], i);
+
+    const std::uint32_t fanout = fanouts_[layer];
+    for (std::uint32_t d = 0; d < block.dst_count; ++d) {
+      scratch_neighbors.clear();
+      scratch_weights.clear();
+      adjacency.append_neighbors(dst[d], scratch_neighbors, scratch_weights);
+      const std::size_t available = scratch_neighbors.size();
+
+      auto add_edge = [&](std::size_t pick) {
+        const NodeId neighbor = scratch_neighbors[pick];
+        const auto [it, inserted] =
+            src_index.emplace(neighbor, static_cast<std::uint32_t>(block.src_nodes.size()));
+        if (inserted) block.src_nodes.push_back(neighbor);
+        block.edge_src.push_back(it->second);
+        block.edge_dst.push_back(d);
+        block.edge_weight.push_back(scratch_weights[pick]);
+      };
+
+      if (fanout == 0 || available <= fanout) {
+        for (std::size_t i = 0; i < available; ++i) add_edge(i);
+      } else {
+        for (const std::uint32_t pick : rng.sample_without_replacement(
+                 static_cast<std::uint32_t>(available), fanout)) {
+          add_edge(pick);
+        }
+      }
+    }
+    // The next (closer-to-input) layer computes embeddings for every node
+    // this layer reads.
+    dst = block.src_nodes;
+  }
+  return out;
+}
+
+}  // namespace splpg::sampling

@@ -1,0 +1,83 @@
+#include "sparsify/effective_resistance.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/eigen.hpp"
+
+namespace splpg::sparsify {
+
+using graph::CsrGraph;
+using graph::NodeId;
+using tensor::Matrix;
+
+Matrix laplacian(const CsrGraph& graph) {
+  const NodeId n = graph.num_nodes();
+  Matrix lap(n, n);
+  const auto edges = graph.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    const float w = graph.edge_weight(e);
+    lap.at(u, v) -= w;
+    lap.at(v, u) -= w;
+    lap.at(u, u) += w;
+    lap.at(v, v) += w;
+  }
+  return lap;
+}
+
+Matrix normalized_laplacian(const CsrGraph& graph) {
+  const NodeId n = graph.num_nodes();
+  // Weighted degrees.
+  std::vector<double> degree(n, 0.0);
+  const auto edges = graph.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    const double w = graph.edge_weight(e);
+    degree[u] += w;
+    degree[v] += w;
+  }
+  Matrix lap = laplacian(graph);
+  Matrix out(n, n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      const double di = degree[i];
+      const double dj = degree[j];
+      if (di <= 0.0 || dj <= 0.0) continue;
+      out.at(i, j) = static_cast<float>(lap.at(i, j) / std::sqrt(di * dj));
+    }
+  }
+  return out;
+}
+
+std::vector<double> exact_effective_resistance(const CsrGraph& graph) {
+  const Matrix pinv = tensor::symmetric_pseudo_inverse(laplacian(graph));
+  std::vector<double> resistance;
+  resistance.reserve(graph.num_edges());
+  for (const auto& [u, v] : graph.edges()) {
+    // (e_u - e_v)^T L+ (e_u - e_v) = L+_uu + L+_vv - 2 L+_uv.
+    const double r = static_cast<double>(pinv.at(u, u)) + pinv.at(v, v) - 2.0 * pinv.at(u, v);
+    resistance.push_back(r);
+  }
+  return resistance;
+}
+
+std::vector<double> approx_effective_resistance(const CsrGraph& graph) {
+  std::vector<double> proxy;
+  proxy.reserve(graph.num_edges());
+  for (const auto& [u, v] : graph.edges()) {
+    const double du = graph.degree(u);
+    const double dv = graph.degree(v);
+    assert(du > 0 && dv > 0);
+    proxy.push_back(1.0 / du + 1.0 / dv);
+  }
+  return proxy;
+}
+
+double normalized_laplacian_gamma(const CsrGraph& graph) {
+  const auto decomposition = tensor::symmetric_eigen(normalized_laplacian(graph));
+  if (decomposition.eigenvalues.size() < 2) return 0.0;
+  return decomposition.eigenvalues[1];
+}
+
+}  // namespace splpg::sparsify

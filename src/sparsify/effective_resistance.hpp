@@ -1,0 +1,39 @@
+// Effective resistance of graph edges — exact and approximate.
+//
+// Exact (Eq. (3) of the paper): r(u,v) = (e_u - e_v)^T L+ (e_u - e_v), with
+// L+ the pseudo-inverse of the combinatorial Laplacian. O(n^3) — validation
+// only.
+//
+// Approximate (Theorem 2, Lovász): 1/2 (1/du + 1/dv) <= r(u,v) <=
+// (1/gamma)(1/du + 1/dv), where gamma is the second-smallest eigenvalue of
+// the normalized Laplacian. SpLPG samples edges proportionally to
+// (1/du + 1/dv), which needs only node degrees.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "tensor/matrix.hpp"
+
+namespace splpg::sparsify {
+
+/// Combinatorial Laplacian L = D - A as a dense matrix (weights respected).
+[[nodiscard]] tensor::Matrix laplacian(const graph::CsrGraph& graph);
+
+/// Symmetric normalized Laplacian D^-1/2 L D^-1/2 (isolated nodes yield zero
+/// rows/columns).
+[[nodiscard]] tensor::Matrix normalized_laplacian(const graph::CsrGraph& graph);
+
+/// Exact effective resistance per canonical edge via the Laplacian
+/// pseudo-inverse. O(n^3 + m).
+[[nodiscard]] std::vector<double> exact_effective_resistance(const graph::CsrGraph& graph);
+
+/// Degree-based upper-bound proxy per canonical edge: 1/du + 1/dv.
+/// This is what SpLPG's sampler uses (Theorem 2).
+[[nodiscard]] std::vector<double> approx_effective_resistance(const graph::CsrGraph& graph);
+
+/// Second-smallest eigenvalue of the normalized Laplacian (gamma in
+/// Theorem 2). O(n^3) — validation only.
+[[nodiscard]] double normalized_laplacian_gamma(const graph::CsrGraph& graph);
+
+}  // namespace splpg::sparsify

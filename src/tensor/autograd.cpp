@@ -1,0 +1,485 @@
+#include "tensor/autograd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace splpg::tensor {
+
+namespace detail {
+
+void Node::accumulate(const Matrix& delta) {
+  if (grad.empty()) grad.resize(value.rows(), value.cols());
+  grad.add_inplace(delta);
+}
+
+}  // namespace detail
+
+using detail::Node;
+
+Tensor Tensor::parameter(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::constant(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return Tensor(std::move(node));
+}
+
+Tensor make_op(Matrix value, std::vector<Tensor> parents,
+               std::function<void(Node&)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  for (const auto& parent : parents) {
+    if (parent.defined()) {
+      node->parents.push_back(parent.node_);
+      node->requires_grad = node->requires_grad || parent.node_->requires_grad;
+    }
+  }
+  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
+  return Tensor(std::move(node));
+}
+
+void Tensor::backward() {
+  assert(node_ != nullptr);
+  // Iterative post-order DFS to topologically sort the reachable subgraph.
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      Node* parent = node->parents[child].get();
+      ++child;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // topo is post-order: parents before children; traverse in reverse so each
+  // node's grad is complete before its backward_fn distributes it.
+  node_->grad.resize(node_->value.rows(), node_->value.cols());
+  node_->grad.fill(1.0F);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && !node->grad.empty()) node->backward_fn(*node);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Matrix out = matmul(a.value(), b.value());
+  return make_op(std::move(out), {a, b}, [a, b](Node& self) {
+    // dA += dC * B^T ; dB += A^T * dC
+    if (a.requires_grad()) {
+      Matrix da(a.rows(), a.cols());
+      matmul_nt_acc(self.grad, b.value(), da);
+      a.node_ref().accumulate(da);
+    }
+    if (b.requires_grad()) {
+      Matrix db(b.rows(), b.cols());
+      matmul_tn_acc(a.value(), self.grad, db);
+      b.node_ref().accumulate(db);
+    }
+  });
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  const bool broadcast = b.rows() == 1 && a.rows() != 1 && b.cols() == a.cols();
+  assert(broadcast || (a.rows() == b.rows() && a.cols() == b.cols()));
+  Matrix out = a.value();
+  if (broadcast) {
+    const auto bias = b.value().row(0);
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      const auto row = out.row(r);
+      for (std::size_t c = 0; c < out.cols(); ++c) row[c] += bias[c];
+    }
+  } else {
+    out.add_inplace(b.value());
+  }
+  return make_op(std::move(out), {a, b}, [a, b, broadcast](Node& self) {
+    if (a.requires_grad()) a.node_ref().accumulate(self.grad);
+    if (b.requires_grad()) {
+      if (broadcast) {
+        Matrix db(1, self.grad.cols());
+        const auto out_row = db.row(0);
+        for (std::size_t r = 0; r < self.grad.rows(); ++r) {
+          const auto grad_row = self.grad.row(r);
+          for (std::size_t c = 0; c < grad_row.size(); ++c) out_row[c] += grad_row[c];
+        }
+        b.node_ref().accumulate(db);
+      } else {
+        b.node_ref().accumulate(self.grad);
+      }
+    }
+  });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  const bool broadcast = b.cols() == 1 && a.cols() != 1 && b.rows() == a.rows();
+  assert(broadcast || (a.rows() == b.rows() && a.cols() == b.cols()));
+  Matrix out(a.rows(), a.cols());
+  if (broadcast) {
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      const float alpha = b.value().at(r, 0);
+      const auto src = a.value().row(r);
+      const auto dst = out.row(r);
+      for (std::size_t c = 0; c < src.size(); ++c) dst[c] = alpha * src[c];
+    }
+  } else {
+    out = hadamard(a.value(), b.value());
+  }
+  return make_op(std::move(out), {a, b}, [a, b, broadcast](Node& self) {
+    if (broadcast) {
+      if (a.requires_grad()) {
+        Matrix da(a.rows(), a.cols());
+        for (std::size_t r = 0; r < da.rows(); ++r) {
+          const float alpha = b.value().at(r, 0);
+          const auto grad_row = self.grad.row(r);
+          const auto out_row = da.row(r);
+          for (std::size_t c = 0; c < grad_row.size(); ++c) out_row[c] = alpha * grad_row[c];
+        }
+        a.node_ref().accumulate(da);
+      }
+      if (b.requires_grad()) {
+        Matrix db(b.rows(), 1);
+        for (std::size_t r = 0; r < db.rows(); ++r) {
+          const auto grad_row = self.grad.row(r);
+          const auto a_row = a.value().row(r);
+          float dot = 0.0F;
+          for (std::size_t c = 0; c < grad_row.size(); ++c) dot += grad_row[c] * a_row[c];
+          db.at(r, 0) = dot;
+        }
+        b.node_ref().accumulate(db);
+      }
+    } else {
+      if (a.requires_grad()) a.node_ref().accumulate(hadamard(self.grad, b.value()));
+      if (b.requires_grad()) b.node_ref().accumulate(hadamard(self.grad, a.value()));
+    }
+  });
+}
+
+Tensor scale(const Tensor& a, float alpha) {
+  Matrix out = a.value();
+  out.scale_inplace(alpha);
+  return make_op(std::move(out), {a}, [a, alpha](Node& self) {
+    if (!a.requires_grad()) return;
+    Matrix da = self.grad;
+    da.scale_inplace(alpha);
+    a.node_ref().accumulate(da);
+  });
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    const auto ra = a.value().row(r);
+    const auto rb = b.value().row(r);
+    const auto ro = out.row(r);
+    std::copy(ra.begin(), ra.end(), ro.begin());
+    std::copy(rb.begin(), rb.end(), ro.begin() + static_cast<std::ptrdiff_t>(ra.size()));
+  }
+  const std::size_t a_cols = a.cols();
+  return make_op(std::move(out), {a, b}, [a, b, a_cols](Node& self) {
+    if (a.requires_grad()) {
+      Matrix da(a.rows(), a.cols());
+      for (std::size_t r = 0; r < da.rows(); ++r) {
+        const auto grad_row = self.grad.row(r);
+        std::copy(grad_row.begin(), grad_row.begin() + static_cast<std::ptrdiff_t>(a_cols),
+                  da.row(r).begin());
+      }
+      a.node_ref().accumulate(da);
+    }
+    if (b.requires_grad()) {
+      Matrix db(b.rows(), b.cols());
+      for (std::size_t r = 0; r < db.rows(); ++r) {
+        const auto grad_row = self.grad.row(r);
+        std::copy(grad_row.begin() + static_cast<std::ptrdiff_t>(a_cols), grad_row.end(),
+                  db.row(r).begin());
+      }
+      b.node_ref().accumulate(db);
+    }
+  });
+}
+
+Tensor mean_all(const Tensor& a) {
+  const auto count = static_cast<double>(a.value().size());
+  double total = 0.0;
+  for (const float x : a.value().data()) total += x;
+  Matrix out(1, 1);
+  out.at(0, 0) = static_cast<float>(count > 0 ? total / count : 0.0);
+  return make_op(std::move(out), {a}, [a, count](Node& self) {
+    if (!a.requires_grad()) return;
+    Matrix da(a.rows(), a.cols(), self.grad.at(0, 0) / static_cast<float>(count));
+    a.node_ref().accumulate(da);
+  });
+}
+
+namespace {
+
+/// Shared unary-activation implementation; `dfn` maps output value -> local
+/// derivative (activations chosen so the derivative is a function of y).
+Tensor unary_from_output(const Tensor& a, const std::function<float(float)>& fn,
+                         std::function<float(float)> dfn) {
+  Matrix out = a.value().map(fn);
+  return make_op(std::move(out), {a}, [a, dfn = std::move(dfn)](Node& self) {
+    if (!a.requires_grad()) return;
+    Matrix da(self.value.rows(), self.value.cols());
+    const auto grad = self.grad.data();
+    const auto value = self.value.data();
+    const auto dst = da.data();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = grad[i] * dfn(value[i]);
+    a.node_ref().accumulate(da);
+  });
+}
+
+}  // namespace
+
+Tensor relu(const Tensor& a) {
+  return unary_from_output(
+      a, [](float x) { return x > 0.0F ? x : 0.0F; },
+      [](float y) { return y > 0.0F ? 1.0F : 0.0F; });
+}
+
+Tensor leaky_relu(const Tensor& a, float negative_slope) {
+  // Derivative is not a pure function of the output when slope != 0 at x=0,
+  // but y > 0 <=> x > 0 for slope in (0, 1), so output-based dispatch works.
+  return unary_from_output(
+      a, [negative_slope](float x) { return x > 0.0F ? x : negative_slope * x; },
+      [negative_slope](float y) { return y > 0.0F ? 1.0F : negative_slope; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_from_output(
+      a,
+      [](float x) {
+        return x >= 0.0F ? 1.0F / (1.0F + std::exp(-x))
+                         : std::exp(x) / (1.0F + std::exp(x));
+      },
+      [](float y) { return y * (1.0F - y); });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  return unary_from_output(a, [](float x) { return std::tanh(x); },
+                           [](float y) { return 1.0F - y * y; });
+}
+
+Tensor dropout(const Tensor& a, float p, util::Rng& rng, bool training) {
+  if (!training || p <= 0.0F) return a;
+  assert(p < 1.0F);
+  const float keep = 1.0F - p;
+  auto mask = std::make_shared<std::vector<float>>(a.value().size());
+  Matrix out(a.rows(), a.cols());
+  const auto src = a.value().data();
+  const auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float m = rng.uniform() < p ? 0.0F : 1.0F / keep;
+    (*mask)[i] = m;
+    dst[i] = src[i] * m;
+  }
+  return make_op(std::move(out), {a}, [a, mask](Node& self) {
+    if (!a.requires_grad()) return;
+    Matrix da(a.rows(), a.cols());
+    const auto grad = self.grad.data();
+    const auto out_data = da.data();
+    for (std::size_t i = 0; i < out_data.size(); ++i) out_data[i] = grad[i] * (*mask)[i];
+    a.node_ref().accumulate(da);
+  });
+}
+
+Tensor gather_rows(const Tensor& a, std::span<const std::uint32_t> indices) {
+  Matrix out(indices.size(), a.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < a.rows());
+    const auto src = a.value().row(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  auto idx = std::make_shared<std::vector<std::uint32_t>>(indices.begin(), indices.end());
+  return make_op(std::move(out), {a}, [a, idx](Node& self) {
+    if (!a.requires_grad()) return;
+    Matrix da(a.rows(), a.cols());
+    for (std::size_t i = 0; i < idx->size(); ++i) {
+      const auto grad_row = self.grad.row(i);
+      const auto dst = da.row((*idx)[i]);
+      for (std::size_t c = 0; c < dst.size(); ++c) dst[c] += grad_row[c];
+    }
+    a.node_ref().accumulate(da);
+  });
+}
+
+Tensor slice_cols(const Tensor& a, std::size_t start, std::size_t count) {
+  assert(start + count <= a.cols());
+  Matrix out(a.rows(), count);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto src = a.value().row(r);
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(start),
+              src.begin() + static_cast<std::ptrdiff_t>(start + count), out.row(r).begin());
+  }
+  return make_op(std::move(out), {a}, [a, start, count](Node& self) {
+    if (!a.requires_grad()) return;
+    Matrix da(a.rows(), a.cols());
+    for (std::size_t r = 0; r < da.rows(); ++r) {
+      const auto grad_row = self.grad.row(r);
+      const auto dst = da.row(r);
+      for (std::size_t c = 0; c < count; ++c) dst[start + c] = grad_row[c];
+    }
+    a.node_ref().accumulate(da);
+  });
+}
+
+Tensor spmm_edges(const Tensor& a, const Tensor& coef, std::span<const std::uint32_t> src_idx,
+                  std::span<const std::uint32_t> dst_idx, std::size_t num_dst) {
+  assert(src_idx.size() == dst_idx.size());
+  assert(!coef.defined() ||
+         (coef.rows() == src_idx.size() && coef.cols() == 1));
+  Matrix out(num_dst, a.cols());
+  for (std::size_t e = 0; e < src_idx.size(); ++e) {
+    assert(src_idx[e] < a.rows() && dst_idx[e] < num_dst);
+    const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
+    const auto src = a.value().row(src_idx[e]);
+    const auto dst = out.row(dst_idx[e]);
+    for (std::size_t k = 0; k < src.size(); ++k) dst[k] += c * src[k];
+  }
+  auto srcs = std::make_shared<std::vector<std::uint32_t>>(src_idx.begin(), src_idx.end());
+  auto dsts = std::make_shared<std::vector<std::uint32_t>>(dst_idx.begin(), dst_idx.end());
+  return make_op(std::move(out), {a, coef}, [a, coef, srcs, dsts](Node& self) {
+    if (a.requires_grad()) {
+      Matrix da(a.rows(), a.cols());
+      for (std::size_t e = 0; e < srcs->size(); ++e) {
+        const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
+        const auto grad_row = self.grad.row((*dsts)[e]);
+        const auto dst = da.row((*srcs)[e]);
+        for (std::size_t k = 0; k < dst.size(); ++k) dst[k] += c * grad_row[k];
+      }
+      a.node_ref().accumulate(da);
+    }
+    if (coef.defined() && coef.requires_grad()) {
+      Matrix dc(coef.rows(), 1);
+      for (std::size_t e = 0; e < srcs->size(); ++e) {
+        const auto grad_row = self.grad.row((*dsts)[e]);
+        const auto src = a.value().row((*srcs)[e]);
+        float dot = 0.0F;
+        for (std::size_t k = 0; k < src.size(); ++k) dot += grad_row[k] * src[k];
+        dc.at(e, 0) = dot;
+      }
+      coef.node_ref().accumulate(dc);
+    }
+  });
+}
+
+Tensor segment_softmax(const Tensor& scores, std::span<const std::uint32_t> dst_idx,
+                       std::size_t num_dst) {
+  assert(scores.cols() == 1 && scores.rows() == dst_idx.size());
+  const std::size_t num_edges = dst_idx.size();
+
+  // Stable per-group softmax: subtract the group max.
+  std::vector<float> group_max(num_dst, -std::numeric_limits<float>::infinity());
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    group_max[dst_idx[e]] = std::max(group_max[dst_idx[e]], scores.value().at(e, 0));
+  }
+  std::vector<float> group_sum(num_dst, 0.0F);
+  Matrix out(num_edges, 1);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    const float z = std::exp(scores.value().at(e, 0) - group_max[dst_idx[e]]);
+    out.at(e, 0) = z;
+    group_sum[dst_idx[e]] += z;
+  }
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    out.at(e, 0) /= group_sum[dst_idx[e]];
+  }
+
+  auto dsts = std::make_shared<std::vector<std::uint32_t>>(dst_idx.begin(), dst_idx.end());
+  const std::size_t groups = num_dst;
+  return make_op(std::move(out), {scores}, [scores, dsts, groups](Node& self) {
+    if (!scores.requires_grad()) return;
+    // ds_e = y_e * (g_e - sum_{f in group(e)} y_f * g_f)
+    std::vector<float> group_dot(groups, 0.0F);
+    const std::size_t num_edges = dsts->size();
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      group_dot[(*dsts)[e]] += self.value.at(e, 0) * self.grad.at(e, 0);
+    }
+    Matrix ds(num_edges, 1);
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      ds.at(e, 0) = self.value.at(e, 0) * (self.grad.at(e, 0) - group_dot[(*dsts)[e]]);
+    }
+    scores.node_ref().accumulate(ds);
+  });
+}
+
+Tensor rowwise_dot(const Tensor& a, const Tensor& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out(a.rows(), 1);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto ra = a.value().row(r);
+    const auto rb = b.value().row(r);
+    float dot = 0.0F;
+    for (std::size_t c = 0; c < ra.size(); ++c) dot += ra[c] * rb[c];
+    out.at(r, 0) = dot;
+  }
+  return make_op(std::move(out), {a, b}, [a, b](Node& self) {
+    if (a.requires_grad()) {
+      Matrix da(a.rows(), a.cols());
+      for (std::size_t r = 0; r < da.rows(); ++r) {
+        const float g = self.grad.at(r, 0);
+        const auto rb = b.value().row(r);
+        const auto dst = da.row(r);
+        for (std::size_t c = 0; c < dst.size(); ++c) dst[c] = g * rb[c];
+      }
+      a.node_ref().accumulate(da);
+    }
+    if (b.requires_grad()) {
+      Matrix db(b.rows(), b.cols());
+      for (std::size_t r = 0; r < db.rows(); ++r) {
+        const float g = self.grad.at(r, 0);
+        const auto ra = a.value().row(r);
+        const auto dst = db.row(r);
+        for (std::size_t c = 0; c < dst.size(); ++c) dst[c] = g * ra[c];
+      }
+      b.node_ref().accumulate(db);
+    }
+  });
+}
+
+Tensor bce_with_logits(const Tensor& logits, std::span<const float> labels) {
+  assert(logits.cols() == 1 && logits.rows() == labels.size());
+  const std::size_t n = labels.size();
+  assert(n > 0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float z = logits.value().at(i, 0);
+    const float y = labels[i];
+    total += std::max(z, 0.0F) - z * y + std::log1p(std::exp(-std::abs(z)));
+  }
+  Matrix out(1, 1);
+  out.at(0, 0) = static_cast<float>(total / static_cast<double>(n));
+  auto label_copy = std::make_shared<std::vector<float>>(labels.begin(), labels.end());
+  return make_op(std::move(out), {logits}, [logits, label_copy, n](Node& self) {
+    if (!logits.requires_grad()) return;
+    const float seed = self.grad.at(0, 0) / static_cast<float>(n);
+    Matrix dl(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float z = logits.value().at(i, 0);
+      const float s = z >= 0.0F ? 1.0F / (1.0F + std::exp(-z))
+                                : std::exp(z) / (1.0F + std::exp(z));
+      dl.at(i, 0) = seed * (s - (*label_copy)[i]);
+    }
+    logits.node_ref().accumulate(dl);
+  });
+}
+
+}  // namespace splpg::tensor

@@ -1,0 +1,151 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace splpg::tensor {
+
+void Matrix::add_inplace(const Matrix& other) noexcept {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::axpy_inplace(float alpha, const Matrix& other) noexcept {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::scale_inplace(float alpha) noexcept {
+  for (float& x : data_) x *= alpha;
+}
+
+double Matrix::squared_norm() const noexcept {
+  double total = 0.0;
+  for (const float x : data_) total += static_cast<double>(x) * x;
+  return total;
+}
+
+Matrix Matrix::map(const std::function<float(float)>& fn) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = fn(data_[i]);
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.rows());
+  assert(c.rows() == a.rows() && c.cols() == b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto a_row = a.row(i);
+    const auto c_row = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float alpha = a_row[p];
+      if (alpha == 0.0F) continue;
+      const auto b_row = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += alpha * b_row[j];
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  matmul_acc(a, b, c);
+  return c;
+}
+
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  // C(k x n) += A^T(k x m) * B(m x n): iterate rows of A and B together.
+  assert(a.rows() == b.rows());
+  assert(c.rows() == a.cols() && c.cols() == b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto a_row = a.row(i);
+    const auto b_row = b.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float alpha = a_row[p];
+      if (alpha == 0.0F) continue;
+      const auto c_row = c.row(p);
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += alpha * b_row[j];
+    }
+  }
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  matmul_tn_acc(a, b, c);
+  return c;
+}
+
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  // C(m x n) += A(m x k) * B^T(k x n) where B is n x k: dot products of rows.
+  assert(a.cols() == b.cols());
+  assert(c.rows() == a.rows() && c.cols() == b.rows());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto a_row = a.row(i);
+    const auto c_row = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto b_row = b.row(j);
+      float dot = 0.0F;
+      for (std::size_t p = 0; p < k; ++p) dot += a_row[p] * b_row[p];
+      c_row[j] += dot;
+    }
+  }
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  matmul_nt_acc(a, b, c);
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix c = a;
+  c.add_inplace(b);
+  return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix c = a;
+  c.axpy_inplace(-1.0F, b);
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  Matrix c(a.rows(), a.cols());
+  const auto da = a.data();
+  const auto db = b.data();
+  const auto dc = c.data();
+  for (std::size_t i = 0; i < da.size(); ++i) dc[i] = da[i] * db[i];
+  return c;
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  assert(a.same_shape(b));
+  float best = 0.0F;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    best = std::max(best, std::abs(da[i] - db[i]));
+  }
+  return best;
+}
+
+}  // namespace splpg::tensor

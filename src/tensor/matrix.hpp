@@ -1,0 +1,111 @@
+// Dense row-major float matrix with the handful of kernels the GNN stack
+// needs: GEMM (with transposed variants), elementwise maps, row ops.
+//
+// Deliberately BLAS-free: the experiments compare training *methods*, not
+// kernels, and a self-contained implementation keeps the library dependency-
+// free. The GEMM uses an i-k-j loop order so the inner loop streams both B
+// and C rows (vectorizable by the compiler).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace splpg::tensor {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<float> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  void fill(float value) noexcept { std::fill(data_.begin(), data_.end(), value); }
+  void zero() noexcept { fill(0.0F); }
+
+  /// Resizes (contents become unspecified) — used to size gradient buffers.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0F);
+  }
+
+  [[nodiscard]] bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// this += other (shapes must match).
+  void add_inplace(const Matrix& other) noexcept;
+  /// this += alpha * other.
+  void axpy_inplace(float alpha, const Matrix& other) noexcept;
+  /// this *= alpha.
+  void scale_inplace(float alpha) noexcept;
+
+  /// Frobenius-norm squared.
+  [[nodiscard]] double squared_norm() const noexcept;
+
+  /// Applies `fn` to every element, returning a new matrix.
+  [[nodiscard]] Matrix map(const std::function<float(float)>& fn) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B (without materializing A^T).
+[[nodiscard]] Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A * B^T (without materializing B^T).
+[[nodiscard]] Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// C += A * B (accumulating GEMM; C must be m x n already).
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c);
+/// C += A^T * B.
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c);
+/// C += A * B^T.
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Elementwise sum / difference / product.
+[[nodiscard]] Matrix add(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix sub(const Matrix& a, const Matrix& b);
+[[nodiscard]] Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// Max absolute elementwise difference (test helper).
+[[nodiscard]] float max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace splpg::tensor

@@ -1,0 +1,51 @@
+// Reusable thread barrier for the distributed-training simulation.
+//
+// std::barrier would do, but a hand-rolled generation-counting barrier keeps
+// the dependency surface minimal and lets us expose `arrive_and_wait` with a
+// serial-section callback (run by exactly one thread per phase), which the
+// all-reduce uses for the deterministic summation step.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+namespace splpg::util {
+
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties), waiting_(0), generation_(0) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived. If `serial_section` is
+  /// non-null, the last thread to arrive runs it (while the others are still
+  /// blocked), then everyone is released. Returns true for the thread that
+  /// executed the serial section.
+  bool arrive_and_wait(const std::function<void()>& serial_section = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::size_t my_generation = generation_;
+    if (++waiting_ == parties_) {
+      if (serial_section) serial_section();
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+    return false;
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::size_t waiting_;
+  std::size_t generation_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace splpg::util

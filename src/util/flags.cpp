@@ -1,0 +1,139 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace splpg::util {
+
+namespace {
+
+const char* type_name(int type) {
+  static constexpr const char* kNames[] = {"string", "int", "double", "bool"};
+  return kNames[type];
+}
+
+}  // namespace
+
+Flags::Flags(std::string program_description) : description_(std::move(program_description)) {}
+
+void Flags::define(const std::string& name, std::string default_value, std::string help) {
+  entries_[name] = Entry{Type::kString, default_value, std::move(default_value), std::move(help)};
+}
+
+void Flags::define(const std::string& name, const char* default_value, std::string help) {
+  define(name, std::string(default_value), std::move(help));
+}
+
+void Flags::define(const std::string& name, std::int64_t default_value, std::string help) {
+  auto text = std::to_string(default_value);
+  entries_[name] = Entry{Type::kInt, text, text, std::move(help)};
+}
+
+void Flags::define(const std::string& name, double default_value, std::string help) {
+  std::ostringstream stream;
+  stream << default_value;
+  entries_[name] = Entry{Type::kDouble, stream.str(), stream.str(), std::move(help)};
+}
+
+void Flags::define(const std::string& name, bool default_value, std::string help) {
+  const std::string text = default_value ? "true" : "false";
+  entries_[name] = Entry{Type::kBool, text, text, std::move(help)};
+}
+
+bool Flags::parse(int argc, char** argv) {
+  program_name_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: positional argument '%s' not supported\n", arg.c_str());
+      print_usage();
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = arg;
+    }
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "error: unknown flag --%s\n", name.c_str());
+      print_usage();
+      return false;
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "error: flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Flags::Entry& Flags::entry_or_die(const std::string& name, Type expected) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::logic_error("flag not defined: --" + name);
+  }
+  if (it->second.type != expected) {
+    throw std::logic_error("flag --" + name + " is a " +
+                           type_name(static_cast<int>(it->second.type)) + ", accessed as " +
+                           type_name(static_cast<int>(expected)));
+  }
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name) const {
+  return entry_or_die(name, Type::kString).value;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  return std::stoll(entry_or_die(name, Type::kInt).value);
+}
+
+double Flags::get_double(const std::string& name) const {
+  return std::stod(entry_or_die(name, Type::kDouble).value);
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const auto& value = entry_or_die(name, Type::kBool).value;
+  return value == "true" || value == "1" || value == "yes";
+}
+
+std::vector<std::int64_t> Flags::get_int_list(const std::string& name) const {
+  const auto text = get_string(name);
+  std::vector<std::int64_t> out;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(std::stoll(token));
+  }
+  return out;
+}
+
+void Flags::print_usage() const {
+  std::fprintf(stderr, "%s\n\nflags:\n", description_.c_str());
+  for (const auto& [name, entry] : entries_) {
+    std::fprintf(stderr, "  --%-24s %s (%s, default: %s)\n", name.c_str(), entry.help.c_str(),
+                 type_name(static_cast<int>(entry.type)), entry.default_value.c_str());
+  }
+}
+
+}  // namespace splpg::util

@@ -1,0 +1,57 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Unknown
+// flags are an error (catches typos in sweep scripts). Every flag is
+// registered with a default and a help string; `--help` prints usage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace splpg::util {
+
+class Flags {
+ public:
+  explicit Flags(std::string program_description);
+
+  /// Registers a flag with its default value (also defines its type).
+  void define(const std::string& name, std::string default_value, std::string help);
+  void define(const std::string& name, const char* default_value, std::string help);
+  void define(const std::string& name, std::int64_t default_value, std::string help);
+  void define(const std::string& name, double default_value, std::string help);
+  void define(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or on a
+  /// parse error; callers should exit in that case.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Parses a comma-separated int list flag, e.g. "--partitions=4,8,16".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+  void print_usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Entry {
+    Type type;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  const Entry& entry_or_die(const std::string& name, Type expected) const;
+
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::string program_name_;
+};
+
+}  // namespace splpg::util

@@ -1,0 +1,25 @@
+#include "util/logging.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace splpg::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : start_(std::chrono::steady_clock::now()) {}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%8.3f] [%s] %s\n", static_cast<double>(elapsed) / 1000.0,
+               kNames[static_cast<int>(level)], message.c_str());
+}
+
+}  // namespace splpg::util

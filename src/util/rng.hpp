@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation for all SpLPG components.
+//
+// Every source of randomness in the library flows through an `Rng` instance
+// seeded from a run-level seed, so experiments are bit-reproducible regardless
+// of thread scheduling (each worker owns a private stream derived from the run
+// seed and its worker id).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace splpg::util {
+
+/// xoshiro256++ generator (Blackman & Vigna). Fast, high-quality, 256-bit
+/// state, suitable for parallel streams via `split()`.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Derives an independent stream for a named component / worker id.
+  /// Deterministic: same (parent seed, tag, index) -> same stream.
+  [[nodiscard]] Rng split(std::string_view tag, std::uint64_t index = 0) const noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Unbiased
+  /// (Lemire's nearly-divisionless rejection method).
+  std::uint64_t uniform_u64(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (caches the second deviate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Bernoulli trial with success probability `p`.
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle of `items` in place.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_u64(i));
+      if (j != i - 1) std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (Floyd's algorithm when k << n,
+  /// reservoir/shuffle otherwise). Result is unsorted.
+  [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                                      std::uint32_t k);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// splitmix64 step — used for seeding and stream derivation.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stable 64-bit FNV-1a hash of a string (for deriving stream tags).
+[[nodiscard]] std::uint64_t hash64(std::string_view text) noexcept;
+
+/// O(1) sampling from a fixed discrete distribution (Walker/Vose alias
+/// method). Construction is O(n). Used by the effective-resistance
+/// sparsifier, which must draw L ~ alpha*|E| edges with probability
+/// proportional to per-edge weights.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from unnormalized non-negative weights. Weights that
+  /// are all zero yield a uniform distribution. Empty input is allowed; then
+  /// `sample` must not be called.
+  explicit AliasTable(std::span<const double> weights);
+
+  [[nodiscard]] bool empty() const noexcept { return prob_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Draws an index in [0, size()) with the configured probabilities.
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const noexcept;
+
+  /// Normalized probability of index `i` (for weight computation in the
+  /// sparsifier: w = 1 / (L * p_i)).
+  [[nodiscard]] double probability(std::uint32_t i) const noexcept { return p_norm_[i]; }
+
+ private:
+  std::vector<double> prob_;         // threshold within each bucket
+  std::vector<std::uint32_t> alias_; // alias index per bucket
+  std::vector<double> p_norm_;       // normalized probabilities
+};
+
+}  // namespace splpg::util

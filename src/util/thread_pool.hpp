@@ -1,0 +1,50 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Used for embarrassingly parallel preprocessing (per-partition
+// sparsification, feature generation). Worker *training* threads are managed
+// separately by dist::DistContext because they are long-lived and barrier-
+// synchronized.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace splpg::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end), splitting the range into contiguous
+  /// chunks across the pool. Blocks until all chunks finish. Exceptions from
+  /// tasks propagate to the caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace splpg::util

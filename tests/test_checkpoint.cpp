@@ -1,0 +1,105 @@
+// Tests for model checkpointing and the network cost model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dist/cost_model.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/model.hpp"
+#include "tensor/matrix.hpp"
+
+namespace splpg {
+namespace {
+
+nn::ModelConfig small_config() {
+  nn::ModelConfig config;
+  config.in_dim = 6;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  return config;
+}
+
+TEST(Checkpoint, RoundTripRestoresAllParameters) {
+  nn::LinkPredictionModel source(small_config(), 1);
+  nn::LinkPredictionModel destination(small_config(), 2);  // different init
+  ASSERT_GT(tensor::max_abs_diff(source.parameters()[0].value(),
+                                 destination.parameters()[0].value()),
+            0.0F);
+  std::stringstream stream;
+  nn::save_parameters(stream, source);
+  nn::load_parameters(stream, destination);
+  for (std::size_t i = 0; i < source.parameters().size(); ++i) {
+    EXPECT_FLOAT_EQ(tensor::max_abs_diff(source.parameters()[i].value(),
+                                         destination.parameters()[i].value()),
+                    0.0F)
+        << "parameter " << i;
+  }
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  nn::LinkPredictionModel model(small_config(), 1);
+  std::stringstream stream("garbage data here, definitely not a checkpoint");
+  EXPECT_THROW(nn::load_parameters(stream, model), std::runtime_error);
+}
+
+TEST(Checkpoint, ArityMismatchThrows) {
+  nn::LinkPredictionModel deep(small_config(), 1);
+  auto shallow_config = small_config();
+  shallow_config.num_layers = 1;
+  nn::LinkPredictionModel shallow(shallow_config, 1);
+  std::stringstream stream;
+  nn::save_parameters(stream, deep);
+  EXPECT_THROW(nn::load_parameters(stream, shallow), std::invalid_argument);
+}
+
+TEST(Checkpoint, ShapeMismatchThrows) {
+  nn::LinkPredictionModel source(small_config(), 1);
+  auto wide_config = small_config();
+  wide_config.hidden_dim = 16;
+  nn::LinkPredictionModel wide(wide_config, 1);
+  std::stringstream stream;
+  nn::save_parameters(stream, source);
+  EXPECT_THROW(nn::load_parameters(stream, wide), std::invalid_argument);
+}
+
+TEST(Checkpoint, TruncatedStreamThrows) {
+  nn::LinkPredictionModel model(small_config(), 1);
+  std::stringstream stream;
+  nn::save_parameters(stream, model);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  nn::LinkPredictionModel destination(small_config(), 2);
+  EXPECT_THROW(nn::load_parameters(truncated, destination), std::exception);
+}
+
+TEST(CostModel, PureBandwidthMath) {
+  dist::CommStats stats;
+  stats.structure_bytes = 3'000'000'000ULL;  // 3 GB
+  dist::LinkProfile link{"test", 1e9, 0.0};
+  const auto cost = dist::estimate_cost(stats, link);
+  EXPECT_NEAR(cost.transfer_seconds, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cost.latency_seconds, 0.0);
+}
+
+TEST(CostModel, LatencyScalesWithFetches) {
+  dist::CommStats stats;
+  stats.structure_fetches = 1000;
+  stats.feature_fetches = 500;
+  dist::LinkProfile link{"test", 1e9, 1e-4};
+  const auto cost = dist::estimate_cost(stats, link);
+  EXPECT_NEAR(cost.latency_seconds, 0.15, 1e-9);
+}
+
+TEST(CostModel, SlowerLinksCostMore) {
+  dist::CommStats stats;
+  stats.feature_bytes = 1'000'000'000ULL;
+  stats.feature_fetches = 10'000;
+  const auto fast = dist::estimate_cost(stats, dist::pcie_gen4_link());
+  const auto medium = dist::estimate_cost(stats, dist::datacenter_25g());
+  const auto slow = dist::estimate_cost(stats, dist::commodity_1g());
+  EXPECT_LT(fast.total_seconds(), medium.total_seconds());
+  EXPECT_LT(medium.total_seconds(), slow.total_seconds());
+}
+
+}  // namespace
+}  // namespace splpg

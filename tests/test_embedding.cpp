@@ -1,0 +1,193 @@
+// Tests for the DeepWalk / node2vec embedding baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "data/generators.hpp"
+#include "embedding/deepwalk.hpp"
+#include "eval/metrics.hpp"
+#include "sampling/edge_split.hpp"
+
+namespace splpg::embedding {
+namespace {
+
+using graph::CsrGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using util::Rng;
+
+CsrGraph community_graph(std::uint64_t seed = 1) {
+  data::SbmParams params;
+  params.num_nodes = 300;
+  params.num_edges = 2400;
+  params.num_communities = 6;
+  params.intra_prob = 0.92;
+  Rng rng(seed);
+  return data::generate_sbm(params, rng);
+}
+
+TEST(RandomWalks, CountAndLength) {
+  const CsrGraph graph = community_graph();
+  WalkConfig config;
+  config.walks_per_node = 3;
+  config.walk_length = 12;
+  Rng rng(2);
+  const auto walks = generate_walks(graph, config, rng);
+  // Every node has degree >= 1 w.h.p. in this generator; at most n*walks.
+  EXPECT_LE(walks.size(), static_cast<std::size_t>(graph.num_nodes()) * 3);
+  EXPECT_GT(walks.size(), static_cast<std::size_t>(graph.num_nodes()) * 2);
+  for (const auto& walk : walks) {
+    EXPECT_LE(walk.size(), 12U);
+    EXPECT_GE(walk.size(), 1U);
+  }
+}
+
+TEST(RandomWalks, StepsFollowEdges) {
+  const CsrGraph graph = community_graph();
+  WalkConfig config;
+  config.walks_per_node = 1;
+  config.walk_length = 20;
+  Rng rng(3);
+  for (const auto& walk : generate_walks(graph, config, rng)) {
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_TRUE(graph.has_edge(walk[i - 1], walk[i]));
+    }
+  }
+}
+
+TEST(RandomWalks, IsolatedNodesSkipped) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);  // 2, 3 isolated
+  const CsrGraph graph = builder.build();
+  WalkConfig config;
+  config.walks_per_node = 2;
+  Rng rng(4);
+  const auto walks = generate_walks(graph, config, rng);
+  for (const auto& walk : walks) {
+    EXPECT_NE(walk.front(), 2U);
+    EXPECT_NE(walk.front(), 3U);
+  }
+}
+
+TEST(RandomWalks, DeterministicGivenRng) {
+  const CsrGraph graph = community_graph();
+  WalkConfig config;
+  Rng rng1(5);
+  Rng rng2(5);
+  const auto a = generate_walks(graph, config, rng1);
+  const auto b = generate_walks(graph, config, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a.back(), b.back());
+}
+
+TEST(RandomWalks, LowInOutParamExploresFurther) {
+  // node2vec: q << 1 biases outward (DFS-like) -> more distinct nodes per
+  // walk than q >> 1 (BFS-like, stays near the start).
+  const CsrGraph graph = community_graph();
+  WalkConfig dfs;
+  dfs.walks_per_node = 2;
+  dfs.walk_length = 30;
+  dfs.inout_param = 0.25;
+  WalkConfig bfs = dfs;
+  bfs.inout_param = 4.0;
+
+  auto mean_distinct = [&](const WalkConfig& config, std::uint64_t seed) {
+    Rng rng(seed);
+    double total = 0.0;
+    const auto walks = generate_walks(graph, config, rng);
+    for (const auto& walk : walks) {
+      std::unordered_set<NodeId> distinct(walk.begin(), walk.end());
+      total += static_cast<double>(distinct.size());
+    }
+    return total / static_cast<double>(walks.size());
+  };
+  EXPECT_GT(mean_distinct(dfs, 6), mean_distinct(bfs, 6));
+}
+
+TEST(RandomWalks, LowReturnParamBacktracksMore) {
+  const CsrGraph graph = community_graph();
+  WalkConfig backtracky;
+  backtracky.walks_per_node = 2;
+  backtracky.walk_length = 30;
+  backtracky.return_param = 0.1;
+  WalkConfig forward = backtracky;
+  forward.return_param = 10.0;
+
+  auto backtrack_rate = [&](const WalkConfig& config, std::uint64_t seed) {
+    Rng rng(seed);
+    std::size_t backtracks = 0;
+    std::size_t steps = 0;
+    for (const auto& walk : generate_walks(graph, config, rng)) {
+      for (std::size_t i = 2; i < walk.size(); ++i) {
+        ++steps;
+        if (walk[i] == walk[i - 2]) ++backtracks;
+      }
+    }
+    return static_cast<double>(backtracks) / static_cast<double>(std::max<std::size_t>(1, steps));
+  };
+  EXPECT_GT(backtrack_rate(backtracky, 7), 2.0 * backtrack_rate(forward, 7));
+}
+
+TEST(NodeEmbedding, LearnsLinkStructure) {
+  const CsrGraph graph = community_graph();
+  Rng split_rng(8);
+  const auto split = sampling::split_edges(graph, sampling::SplitOptions{}, split_rng);
+
+  WalkConfig walks;
+  walks.walks_per_node = 6;
+  walks.walk_length = 20;
+  SkipGramConfig skipgram;
+  skipgram.dim = 32;
+  skipgram.epochs = 2;
+  Rng rng(9);
+  const NodeEmbedding embedding(split.train_graph, walks, skipgram, rng);
+
+  std::vector<float> positive_scores;
+  for (const auto& [u, v] : split.test_pos) {
+    positive_scores.push_back(static_cast<float>(embedding.score(u, v)));
+  }
+  std::vector<float> negative_scores;
+  for (const auto& [u, v] : split.test_neg) {
+    negative_scores.push_back(static_cast<float>(embedding.score(u, v)));
+  }
+  EXPECT_GT(eval::auc(positive_scores, negative_scores), 0.75);
+}
+
+TEST(NodeEmbedding, DimensionsAndDeterminism) {
+  const CsrGraph graph = community_graph();
+  WalkConfig walks;
+  walks.walks_per_node = 1;
+  walks.walk_length = 10;
+  SkipGramConfig skipgram;
+  skipgram.dim = 16;
+  skipgram.epochs = 1;
+  Rng rng1(10);
+  Rng rng2(10);
+  const NodeEmbedding a(graph, walks, skipgram, rng1);
+  const NodeEmbedding b(graph, walks, skipgram, rng2);
+  EXPECT_EQ(a.dim(), 16U);
+  EXPECT_EQ(a.matrix().rows(), graph.num_nodes());
+  EXPECT_DOUBLE_EQ(a.score(0, 1), b.score(0, 1));
+  EXPECT_DOUBLE_EQ(a.score(5, 9), b.score(5, 9));
+}
+
+TEST(NodeEmbedding, ScorePairsMatchesScore) {
+  const CsrGraph graph = community_graph();
+  WalkConfig walks;
+  walks.walks_per_node = 1;
+  SkipGramConfig skipgram;
+  skipgram.dim = 8;
+  skipgram.epochs = 1;
+  Rng rng(11);
+  const NodeEmbedding embedding(graph, walks, skipgram, rng);
+  const std::vector<std::pair<NodeId, NodeId>> pairs{{0, 1}, {2, 3}};
+  const auto scores = embedding.score_pairs(pairs);
+  ASSERT_EQ(scores.size(), 2U);
+  EXPECT_FLOAT_EQ(scores[0], static_cast<float>(embedding.score(0, 1)));
+  EXPECT_FLOAT_EQ(scores[1], static_cast<float>(embedding.score(2, 3)));
+}
+
+}  // namespace
+}  // namespace splpg::embedding

@@ -1,0 +1,128 @@
+// Finite-difference gradient verification through the GNN layers and the
+// full link-prediction model — the complete backward path the trainer uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/gnn_layers.hpp"
+#include "nn/model.hpp"
+#include "nn/predictor.hpp"
+#include "sampling/neighbor_sampler.hpp"
+#include "tensor/init.hpp"
+
+namespace splpg::nn {
+namespace {
+
+using sampling::Block;
+using tensor::Matrix;
+using tensor::Tensor;
+using util::Rng;
+
+/// Dense-ish block: 3 destinations, 6 sources, 8 weighted edges.
+Block test_block() {
+  Block block;
+  block.src_nodes = {0, 1, 2, 3, 4, 5};
+  block.dst_count = 3;
+  block.edge_src = {3, 4, 5, 4, 5, 0, 1, 2};
+  block.edge_dst = {0, 0, 0, 1, 1, 2, 2, 2};
+  block.edge_weight = {1.0F, 0.5F, 2.0F, 1.0F, 1.0F, 0.25F, 1.5F, 1.0F};
+  return block;
+}
+
+void check_all_parameters(Module& module, const std::function<Tensor()>& loss_fn,
+                          double tolerance = 3e-2, double epsilon = 2e-3) {
+  for (std::size_t param_index = 0; param_index < module.parameters().size(); ++param_index) {
+    auto& param = module.parameters()[param_index];
+    module.zero_grad();
+    Tensor loss = loss_fn();
+    loss.backward();
+    const Matrix analytic = param.grad();
+    ASSERT_FALSE(analytic.empty()) << "parameter " << param_index << " got no gradient";
+
+    auto& value = param.mutable_value();
+    // Spot-check a handful of coordinates per parameter (full sweeps are slow).
+    const std::size_t step = std::max<std::size_t>(1, value.size() / 6);
+    for (std::size_t flat = 0; flat < value.size(); flat += step) {
+      const std::size_t r = flat / value.cols();
+      const std::size_t c = flat % value.cols();
+      const float saved = value.at(r, c);
+      value.at(r, c) = saved + static_cast<float>(epsilon);
+      const double up = loss_fn().item();
+      value.at(r, c) = saved - static_cast<float>(epsilon);
+      const double down = loss_fn().item();
+      value.at(r, c) = saved;
+      const double numeric = (up - down) / (2.0 * epsilon);
+      EXPECT_NEAR(analytic.at(r, c), numeric, tolerance * std::max(1.0, std::abs(numeric)))
+          << "param " << param_index << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+class LayerGradient : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(LayerGradient, MatchesFiniteDifferences) {
+  Rng rng(31);
+  const auto layer = make_gnn_layer(GetParam(), 3, 4, rng);
+  const Block block = test_block();
+  Rng feat_rng(32);
+  const Tensor x = Tensor::constant(tensor::gaussian(6, 3, 0.0, 1.0, feat_rng));
+  const std::vector<float> labels = {1.0F, 0.0F, 1.0F};
+  check_all_parameters(*layer, [&] {
+    // Sum embedding rows -> per-dst logits via sigmoid-friendly reduction.
+    Tensor h = layer->forward(block, x);
+    Matrix reducer_values(4, 1, 0.3F);
+    const Tensor reducer = Tensor::constant(std::move(reducer_values));
+    return bce_with_logits(matmul(tanh_op(h), reducer), labels);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayerKinds, LayerGradient,
+                         ::testing::Values(GnnKind::kGcn, GnnKind::kSage, GnnKind::kGat,
+                                           GnnKind::kGatv2));
+
+class ModelGradient : public ::testing::TestWithParam<std::pair<GnnKind, PredictorKind>> {};
+
+TEST_P(ModelGradient, FullPipelineMatchesFiniteDifferences) {
+  const auto [gnn, predictor] = GetParam();
+  ModelConfig config;
+  config.gnn = gnn;
+  config.predictor = predictor;
+  config.in_dim = 3;
+  config.hidden_dim = 4;
+  config.num_layers = 2;
+  config.predictor_layers = 2;
+  LinkPredictionModel model(config, 77);
+
+  // Two stacked blocks over the same 6-node universe.
+  sampling::ComputationGraph cg;
+  cg.blocks.push_back(test_block());
+  Block top;
+  top.src_nodes = {0, 1, 2};
+  top.dst_count = 2;
+  top.edge_src = {1, 2, 2};
+  top.edge_dst = {0, 0, 1};
+  top.edge_weight = {1.0F, 1.0F, 1.0F};
+  cg.blocks.push_back(top);
+
+  Rng feat_rng(33);
+  const Matrix features = tensor::gaussian(6, 3, 0.0, 1.0, feat_rng);
+  const std::vector<PairIndex> pairs{{0, 1}, {1, 0}};
+  const std::vector<float> labels{1.0F, 0.0F};
+
+  check_all_parameters(model, [&] {
+    const Tensor embeddings = model.encode(cg, features);
+    return bce_with_logits(model.score(embeddings, pairs), labels);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndPredictors, ModelGradient,
+    ::testing::Values(std::pair{GnnKind::kGcn, PredictorKind::kMlp},
+                      std::pair{GnnKind::kSage, PredictorKind::kMlp},
+                      std::pair{GnnKind::kSage, PredictorKind::kDot},
+                      std::pair{GnnKind::kGat, PredictorKind::kDot},
+                      std::pair{GnnKind::kGatv2, PredictorKind::kMlp}));
+
+}  // namespace
+}  // namespace splpg::nn

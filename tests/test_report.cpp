@@ -1,0 +1,83 @@
+// Tests for the CSV result exporters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace splpg::core {
+namespace {
+
+TrainResult sample_result() {
+  TrainResult result;
+  result.method = Method::kSplpg;
+  result.test_hits = 0.25;
+  result.test_auc = 0.8;
+  result.eval_k = 13;
+  result.comm.structure_bytes = 1024;
+  result.comm.feature_bytes = 2048;
+  result.comm_gigabytes_per_epoch = 1e-6;
+  result.partition_edge_cut = 42;
+  result.partition_balance = 1.05;
+  EpochRecord record;
+  record.epoch = 1;
+  record.mean_loss = 0.69;
+  record.comm_gigabytes = 1e-6;
+  record.val_hits = 0.2;
+  record.test_hits = 0.25;
+  record.test_auc = 0.8;
+  record.seconds = 0.5;
+  result.history.push_back(record);
+  record.epoch = 2;
+  record.val_hits = -1.0;  // unevaluated epoch
+  result.history.push_back(record);
+  dist::CommStats w0;
+  w0.structure_bytes = 1000;
+  w0.structure_fetches = 3;
+  result.per_worker_comm = {w0, dist::CommStats{}};
+  return result;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Report, HistoryCsvShape) {
+  std::stringstream out;
+  write_history_csv(out, sample_result());
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3U);  // header + 2 epochs
+  EXPECT_EQ(lines[0], "epoch,mean_loss,comm_gigabytes,val_hits,test_hits,test_auc,seconds");
+  EXPECT_EQ(lines[1].substr(0, 2), "1,");
+  EXPECT_NE(lines[2].find(",-1,"), std::string::npos);  // sentinel preserved
+}
+
+TEST(Report, SummaryCsvShapeAndContent) {
+  std::stringstream out;
+  write_summary_csv(out, {"cora/p=4"}, {sample_result()});
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2U);
+  EXPECT_NE(lines[1].find("cora/p=4,splpg,0.25,0.8,13,"), std::string::npos);
+  EXPECT_NE(lines[1].find(",42,1.05"), std::string::npos);
+}
+
+TEST(Report, SummaryCsvArityMismatchThrows) {
+  std::stringstream out;
+  EXPECT_THROW(write_summary_csv(out, {"a", "b"}, {sample_result()}), std::invalid_argument);
+}
+
+TEST(Report, WorkerCommCsv) {
+  std::stringstream out;
+  write_worker_comm_csv(out, sample_result());
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3U);
+  EXPECT_EQ(lines[1], "0,1000,0,3,0");
+  EXPECT_EQ(lines[2], "1,0,0,0,0");
+}
+
+}  // namespace
+}  // namespace splpg::core

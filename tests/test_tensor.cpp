@@ -1,0 +1,210 @@
+// Unit tests for the tensor module: matrix kernels, eigendecomposition,
+// pseudo-inverse, and initializers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/eigen.hpp"
+#include "tensor/init.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace splpg::tensor {
+namespace {
+
+using util::Rng;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix out(rows, cols);
+  for (float& x : out.data()) x = static_cast<float>(rng.normal(0.0, 1.0));
+  return out;
+}
+
+/// Naive triple-loop reference GEMM.
+Matrix reference_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float sum = 0.0F;
+      for (std::size_t k = 0; k < a.cols(); ++k) sum += a.at(i, k) * b.at(k, j);
+      c.at(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(1);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  EXPECT_LT(max_abs_diff(matmul(a, b), reference_matmul(a, b)), 1e-4F);
+}
+
+TEST_P(GemmShapes, TransposedVariantsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(2);
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  // A^T * B via matmul_tn(A, B) where A is (k x m) transposed input.
+  const Matrix at = a.transposed();
+  EXPECT_LT(max_abs_diff(matmul_tn(at, b), reference_matmul(a, b)), 1e-4F);
+  const Matrix bt = b.transposed();
+  EXPECT_LT(max_abs_diff(matmul_nt(a, bt), reference_matmul(a, b)), 1e-4F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 4, 5},
+                                           std::tuple{7, 1, 7}, std::tuple{16, 16, 16},
+                                           std::tuple{2, 31, 5}, std::tuple{10, 64, 3}));
+
+TEST(Matrix, AccumulatingGemmAddsOnTop) {
+  Rng rng(3);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 2, rng);
+  Matrix c(3, 2, 1.0F);
+  matmul_acc(a, b, c);
+  Matrix expected = reference_matmul(a, b);
+  for (float& x : expected.data()) x += 1.0F;
+  EXPECT_LT(max_abs_diff(c, expected), 1e-4F);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {5, 6, 7, 8});
+  EXPECT_FLOAT_EQ(add(a, b).at(1, 1), 12.0F);
+  EXPECT_FLOAT_EQ(sub(a, b).at(0, 0), -4.0F);
+  EXPECT_FLOAT_EQ(hadamard(a, b).at(1, 0), 21.0F);
+}
+
+TEST(Matrix, InplaceOps) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {10, 20, 30});
+  a.add_inplace(b);
+  EXPECT_FLOAT_EQ(a.at(0, 2), 33.0F);
+  a.axpy_inplace(-1.0F, b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 1.0F);
+  a.scale_inplace(2.0F);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 4.0F);
+}
+
+TEST(Matrix, SquaredNormAndMap) {
+  Matrix a(1, 3, {3, 4, 0});
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 25.0);
+  const Matrix doubled = a.map([](float x) { return 2 * x; });
+  EXPECT_FLOAT_EQ(doubled.at(0, 1), 8.0F);
+}
+
+TEST(Matrix, TransposedTwiceIsIdentity) {
+  Rng rng(4);
+  const Matrix a = random_matrix(3, 7, rng);
+  EXPECT_FLOAT_EQ(max_abs_diff(a.transposed().transposed(), a), 0.0F);
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 3.0F;
+  a.at(1, 1) = 1.0F;
+  a.at(2, 2) = 2.0F;
+  const auto decomposition = symmetric_eigen(a);
+  ASSERT_EQ(decomposition.eigenvalues.size(), 3U);
+  EXPECT_NEAR(decomposition.eigenvalues[0], 1.0, 1e-8);
+  EXPECT_NEAR(decomposition.eigenvalues[1], 2.0, 1e-8);
+  EXPECT_NEAR(decomposition.eigenvalues[2], 3.0, 1e-8);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Matrix a(2, 2, {2, 1, 1, 2});
+  const auto decomposition = symmetric_eigen(a);
+  EXPECT_NEAR(decomposition.eigenvalues[0], 1.0, 1e-8);
+  EXPECT_NEAR(decomposition.eigenvalues[1], 3.0, 1e-8);
+}
+
+TEST(Eigen, ReconstructionProperty) {
+  Rng rng(5);
+  const Matrix half = random_matrix(6, 6, rng);
+  // Symmetrize: A = (H + H^T) / 2.
+  Matrix a = add(half, half.transposed());
+  a.scale_inplace(0.5F);
+  const auto decomposition = symmetric_eigen(a);
+  // A v_k = lambda_k v_k for every eigenpair.
+  for (std::size_t k = 0; k < 6; ++k) {
+    Matrix v(6, 1);
+    for (std::size_t i = 0; i < 6; ++i) v.at(i, 0) = decomposition.eigenvectors.at(i, k);
+    const Matrix av = matmul(a, v);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(av.at(i, 0), decomposition.eigenvalues[k] * v.at(i, 0), 1e-3);
+    }
+  }
+}
+
+TEST(Eigen, EigenvectorsOrthonormal) {
+  Rng rng(6);
+  const Matrix half = random_matrix(5, 5, rng);
+  Matrix a = add(half, half.transposed());
+  const auto decomposition = symmetric_eigen(a);
+  const Matrix vtv = matmul_tn(decomposition.eigenvectors, decomposition.eigenvectors);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(vtv.at(i, j), i == j ? 1.0 : 0.0, 1e-4);
+    }
+  }
+}
+
+TEST(Eigen, PseudoInverseOfInvertibleIsInverse) {
+  Matrix a(2, 2, {4, 1, 1, 3});
+  const Matrix pinv = symmetric_pseudo_inverse(a);
+  const Matrix identity = matmul(a, pinv);
+  EXPECT_NEAR(identity.at(0, 0), 1.0, 1e-4);
+  EXPECT_NEAR(identity.at(1, 1), 1.0, 1e-4);
+  EXPECT_NEAR(identity.at(0, 1), 0.0, 1e-4);
+}
+
+TEST(Eigen, PseudoInverseSatisfiesMoorePenrose) {
+  // Singular matrix: rank-1 projector scaled.
+  Matrix a(3, 3);
+  const float v[3] = {1.0F, 2.0F, -1.0F};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a.at(i, j) = v[i] * v[j];
+  }
+  const Matrix pinv = symmetric_pseudo_inverse(a);
+  // A A+ A = A.
+  const Matrix apa = matmul(matmul(a, pinv), a);
+  EXPECT_LT(max_abs_diff(apa, a), 1e-3F);
+  // A+ A A+ = A+.
+  const Matrix pap = matmul(matmul(pinv, a), pinv);
+  EXPECT_LT(max_abs_diff(pap, pinv), 1e-3F);
+}
+
+TEST(Init, XavierUniformBounds) {
+  Rng rng(7);
+  const Matrix w = xavier_uniform(100, 50, rng);
+  const double bound = std::sqrt(6.0 / 150.0);
+  for (const float x : w.data()) {
+    EXPECT_GE(x, -bound);
+    EXPECT_LE(x, bound);
+  }
+}
+
+TEST(Init, HeNormalVariance) {
+  Rng rng(8);
+  const Matrix w = he_normal(200, 100, rng);
+  double sum_sq = 0.0;
+  for (const float x : w.data()) sum_sq += static_cast<double>(x) * x;
+  const double variance = sum_sq / static_cast<double>(w.size());
+  EXPECT_NEAR(variance, 2.0 / 200.0, 2.0 / 200.0 * 0.15);
+}
+
+TEST(Init, DeterministicGivenRng) {
+  Rng rng1(9);
+  Rng rng2(9);
+  const Matrix a = xavier_uniform(10, 10, rng1);
+  const Matrix b = xavier_uniform(10, 10, rng2);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0F);
+}
+
+}  // namespace
+}  // namespace splpg::tensor

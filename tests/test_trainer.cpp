@@ -1,0 +1,216 @@
+// Integration tests for core::train_link_prediction: the full distributed
+// pipeline across methods, sync modes, and models, plus the paper's
+// qualitative claims at miniature scale.
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "sampling/edge_split.hpp"
+
+namespace splpg::core {
+namespace {
+
+struct Problem {
+  data::Dataset dataset;
+  sampling::LinkSplit split;
+};
+
+/// Small shared problem instance (built once; tests are read-only users).
+const Problem& problem() {
+  static const Problem instance = [] {
+    Problem p;
+    p.dataset = data::make_dataset("cora", 0.12, 3);
+    util::Rng rng = util::Rng(3).split("split");
+    p.split = sampling::split_edges(p.dataset.graph, sampling::SplitOptions{}, rng);
+    return p;
+  }();
+  return instance;
+}
+
+TrainConfig base_config(Method method, std::uint32_t epochs = 3) {
+  TrainConfig config;
+  config.method = method;
+  config.model.hidden_dim = 32;
+  config.model.num_layers = 2;
+  config.epochs = epochs;
+  config.batch_size = 128;
+  config.num_partitions = 4;
+  config.max_batches_per_epoch = 4;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Trainer, CentralizedLearnsAboveChance) {
+  auto config = base_config(Method::kCentralized, 6);
+  config.max_batches_per_epoch = 8;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_GT(result.test_auc, 0.65);  // far above the 0.5 chance level
+  EXPECT_GT(result.test_hits, 0.0);
+  EXPECT_EQ(result.comm.total_bytes(), 0U);  // single worker: no transfers
+  EXPECT_EQ(result.history.size(), 6U);
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  const auto config = base_config(Method::kSplpg);
+  const TrainResult a = train_link_prediction(problem().split, problem().dataset.features,
+                                              config);
+  const TrainResult b = train_link_prediction(problem().split, problem().dataset.features,
+                                              config);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t e = 0; e < a.history.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.history[e].mean_loss, b.history[e].mean_loss);
+    EXPECT_DOUBLE_EQ(a.history[e].comm_gigabytes, b.history[e].comm_gigabytes);
+  }
+  EXPECT_DOUBLE_EQ(a.test_hits, b.test_hits);
+  EXPECT_EQ(a.comm.total_bytes(), b.comm.total_bytes());
+}
+
+TEST(Trainer, VanillaBaselinesTransferNothing) {
+  for (const Method method : {Method::kPsgdPa, Method::kRandomTma, Method::kSuperTma,
+                              Method::kSplpgMinus, Method::kSplpgMinusMinus}) {
+    const TrainResult result = train_link_prediction(
+        problem().split, problem().dataset.features, base_config(method, 2));
+    EXPECT_EQ(result.comm.total_bytes(), 0U) << to_string(method);
+  }
+}
+
+TEST(Trainer, SplpgTransfersLessThanSplpgPlus) {
+  const TrainResult splpg = train_link_prediction(problem().split, problem().dataset.features,
+                                                  base_config(Method::kSplpg, 2));
+  const TrainResult plus = train_link_prediction(problem().split, problem().dataset.features,
+                                                 base_config(Method::kSplpgPlus, 2));
+  EXPECT_GT(splpg.comm.total_bytes(), 0U);
+  EXPECT_LT(static_cast<double>(splpg.comm.total_bytes()),
+            0.8 * static_cast<double>(plus.comm.total_bytes()));
+}
+
+TEST(Trainer, RandomTmaPlusIsTheMostExpensive) {
+  const TrainResult random_plus = train_link_prediction(
+      problem().split, problem().dataset.features, base_config(Method::kRandomTmaPlus, 2));
+  const TrainResult splpg = train_link_prediction(problem().split, problem().dataset.features,
+                                                  base_config(Method::kSplpg, 2));
+  EXPECT_GT(random_plus.comm.total_bytes(), splpg.comm.total_bytes());
+}
+
+TEST(Trainer, SparsificationRunsOnlyForSplpg) {
+  const TrainResult splpg = train_link_prediction(problem().split, problem().dataset.features,
+                                                  base_config(Method::kSplpg, 1));
+  EXPECT_GT(splpg.sparsify_seconds, 0.0);
+  const TrainResult plus = train_link_prediction(problem().split, problem().dataset.features,
+                                                 base_config(Method::kSplpgPlus, 1));
+  EXPECT_DOUBLE_EQ(plus.sparsify_seconds, 0.0);
+}
+
+TEST(Trainer, GradientAveragingKeepsReplicasInSyncAndRuns) {
+  auto config = base_config(Method::kPsgdPaPlus, 2);
+  config.sync = dist::SyncMode::kGradientAveraging;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_EQ(result.history.size(), 2U);
+  EXPECT_GT(result.test_auc, 0.4);
+}
+
+TEST(Trainer, LlcgCorrectionStepRuns) {
+  auto config = base_config(Method::kLlcg, 2);
+  config.llcg_correction_batches = 2;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_EQ(result.history.size(), 2U);
+  EXPECT_EQ(result.comm.total_bytes(), 0U);  // correction is server-side
+}
+
+TEST(Trainer, PerEpochEvaluationFillsHistory) {
+  auto config = base_config(Method::kSplpg, 3);
+  config.eval_every = 1;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  for (const auto& record : result.history) {
+    EXPECT_GE(record.val_hits, 0.0);
+    EXPECT_GE(record.test_hits, 0.0);
+  }
+}
+
+TEST(Trainer, FinalOnlyEvaluationLeavesEarlyEpochsUnevaluated) {
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   base_config(Method::kSplpg, 3));
+  EXPECT_LT(result.history.front().val_hits, 0.0);  // sentinel -1
+  EXPECT_GE(result.history.back().val_hits, 0.0);
+}
+
+TEST(Trainer, PartitionStatsReported) {
+  const TrainResult metis = train_link_prediction(problem().split, problem().dataset.features,
+                                                  base_config(Method::kPsgdPa, 1));
+  const TrainResult random = train_link_prediction(problem().split, problem().dataset.features,
+                                                   base_config(Method::kRandomTma, 1));
+  EXPECT_LT(metis.partition_edge_cut, random.partition_edge_cut);
+  EXPECT_GE(metis.partition_balance, 1.0);
+}
+
+TEST(Trainer, EvalKOverrideRespected) {
+  auto config = base_config(Method::kCentralized, 1);
+  config.eval_k = 25;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_EQ(result.eval_k, 25U);
+}
+
+TEST(Trainer, GcnWithFullNeighborhoodFanouts) {
+  auto config = base_config(Method::kSplpg, 2);
+  config.model.gnn = nn::GnnKind::kGcn;
+  config.model.num_layers = 2;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_EQ(result.history.size(), 2U);
+  EXPECT_GT(result.test_auc, 0.4);
+}
+
+TEST(Trainer, AttentionModelsTrain) {
+  for (const auto gnn : {nn::GnnKind::kGat, nn::GnnKind::kGatv2}) {
+    auto config = base_config(Method::kSplpg, 1);
+    config.model.gnn = gnn;
+    config.model.num_layers = 2;
+    config.max_batches_per_epoch = 2;
+    const TrainResult result = train_link_prediction(
+        problem().split, problem().dataset.features, config);
+    EXPECT_EQ(result.history.size(), 1U) << nn::to_string(gnn);
+  }
+}
+
+TEST(Trainer, DotPredictorWorks) {
+  auto config = base_config(Method::kCentralized, 2);
+  config.model.predictor = nn::PredictorKind::kDot;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_GT(result.test_auc, 0.5);
+}
+
+TEST(Trainer, MoreSparsificationMeansLessCommunication) {
+  auto sparse_config = base_config(Method::kSplpg, 2);
+  sparse_config.alpha = 0.05;
+  auto dense_config = base_config(Method::kSplpg, 2);
+  dense_config.alpha = 0.5;
+  const TrainResult sparse = train_link_prediction(problem().split, problem().dataset.features,
+                                                   sparse_config);
+  const TrainResult dense = train_link_prediction(problem().split, problem().dataset.features,
+                                                  dense_config);
+  EXPECT_LT(sparse.comm.total_bytes(), dense.comm.total_bytes());
+}
+
+class PartitionCountTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PartitionCountTest, SplpgRunsAtEveryPaperPartitionCount) {
+  auto config = base_config(Method::kSplpg, 1);
+  config.num_partitions = GetParam();
+  config.max_batches_per_epoch = 2;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_EQ(result.history.size(), 1U);
+  EXPECT_GT(result.comm.total_bytes(), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPartitionCounts, PartitionCountTest,
+                         ::testing::Values(2U, 4U, 8U, 16U));
+
+}  // namespace
+}  // namespace splpg::core

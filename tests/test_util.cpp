@@ -1,0 +1,354 @@
+// Unit tests for the util module: RNG streams, alias tables, barrier,
+// thread pool, flags, serialization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "util/barrier.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
+
+namespace splpg::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfOrder) {
+  const Rng parent(7);
+  Rng x1 = parent.split("x");
+  Rng y1 = parent.split("y");
+  // Splitting again (any order) yields the same streams.
+  Rng y2 = parent.split("y");
+  Rng x2 = parent.split("x");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(x1.next(), x2.next());
+    EXPECT_EQ(y1.next(), y2.next());
+  }
+}
+
+TEST(Rng, SplitByIndexDiffers) {
+  const Rng parent(7);
+  Rng a = parent.split("worker", 0);
+  Rng b = parent.split("worker", 1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(3);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform_u64(bound), bound);
+  }
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng rng(4);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_u64(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniform_int(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(7);
+  constexpr int kDraws = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(8);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(std::span<int>(items));
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+class SampleWithoutReplacementTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SampleWithoutReplacementTest, DistinctAndInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(10);
+  const auto sample = rng.sample_without_replacement(n, k);
+  ASSERT_EQ(sample.size(), static_cast<std::size_t>(k));
+  std::vector<std::uint32_t> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const auto x : sample) EXPECT_LT(x, static_cast<std::uint32_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, SampleWithoutReplacementTest,
+                         ::testing::Values(std::pair{10, 0}, std::pair{10, 10},
+                                           std::pair{10, 9}, std::pair{1000, 3},
+                                           std::pair{1000, 500}, std::pair{5, 2},
+                                           std::pair{100000, 10}));
+
+TEST(AliasTable, MatchesTargetDistribution) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, weights[i] / 10.0, 0.01);
+  }
+}
+
+TEST(AliasTable, NormalizedProbabilities) {
+  const std::vector<double> weights{2.0, 6.0};
+  const AliasTable table{std::span<const double>(weights)};
+  EXPECT_NEAR(table.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(table.probability(1), 0.75, 1e-12);
+}
+
+TEST(AliasTable, AllZeroWeightsFallBackToUniform) {
+  const std::vector<double> weights{0.0, 0.0, 0.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(12);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[table.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c / 30000.0, 1.0 / 3.0, 0.02);
+}
+
+TEST(AliasTable, SingleEntryAlwaysReturnsZero) {
+  const std::vector<double> weights{5.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0U);
+}
+
+TEST(AliasTable, ZeroWeightEntryNeverSampled) {
+  const std::vector<double> weights{0.0, 1.0, 1.0};
+  const AliasTable table{std::span<const double>(weights)};
+  Rng rng(14);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.sample(rng), 0U);
+}
+
+TEST(Barrier, ReleasesAllThreads) {
+  constexpr int kThreads = 8;
+  Barrier barrier(kThreads);
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ++before;
+      barrier.arrive_and_wait();
+      EXPECT_EQ(before.load(), kThreads);
+      ++after;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(after.load(), kThreads);
+}
+
+TEST(Barrier, SerialSectionRunsExactlyOncePerPhase) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 20;
+  Barrier barrier(kThreads);
+  std::atomic<int> serial_runs{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        barrier.arrive_and_wait([&] { ++serial_runs; });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(serial_runs.load(), kPhases);
+}
+
+TEST(Barrier, SerialSectionSeesQuiescentThreads) {
+  constexpr int kThreads = 6;
+  Barrier barrier(kThreads);
+  std::vector<int> data(kThreads, 0);
+  std::atomic<int> sum_seen{-1};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      data[t] = t + 1;
+      barrier.arrive_and_wait([&] {
+        int sum = 0;
+        for (const int x : data) sum += x;
+        sum_seen = sum;
+      });
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(sum_seen.load(), kThreads * (kThreads + 1) / 2);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Flags, ParsesAllForms) {
+  Flags flags("test");
+  flags.define("name", "default", "a string");
+  flags.define("count", static_cast<std::int64_t>(3), "an int");
+  flags.define("rate", 0.5, "a double");
+  flags.define("verbose", false, "a bool");
+  const char* argv[] = {"prog", "--name=hello", "--count", "42", "--verbose", "--rate=0.25"};
+  ASSERT_TRUE(flags.parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_string("name"), "hello");
+  EXPECT_EQ(flags.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 0.25);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, DefaultsWhenUnset) {
+  Flags flags("test");
+  flags.define("count", static_cast<std::int64_t>(3), "an int");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_int("count"), 3);
+}
+
+TEST(Flags, UnknownFlagFails) {
+  Flags flags("test");
+  flags.define("count", static_cast<std::int64_t>(3), "an int");
+  const char* argv[] = {"prog", "--unknown=1"};
+  EXPECT_FALSE(flags.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Flags, IntListParsing) {
+  Flags flags("test");
+  flags.define("parts", "4,8,16", "partition counts");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  const auto parts = flags.get_int_list("parts");
+  ASSERT_EQ(parts.size(), 3U);
+  EXPECT_EQ(parts[0], 4);
+  EXPECT_EQ(parts[1], 8);
+  EXPECT_EQ(parts[2], 16);
+}
+
+TEST(Flags, TypeMismatchThrows) {
+  Flags flags("test");
+  flags.define("count", static_cast<std::int64_t>(3), "an int");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, const_cast<char**>(argv)));
+  EXPECT_THROW((void)flags.get_string("count"), std::logic_error);
+  EXPECT_THROW((void)flags.get_int("missing"), std::logic_error);
+}
+
+TEST(Serialize, PodRoundTrip) {
+  std::stringstream stream;
+  write_pod<std::uint32_t>(stream, 0xdeadbeef);
+  write_pod<double>(stream, 3.25);
+  EXPECT_EQ(read_pod<std::uint32_t>(stream), 0xdeadbeefU);
+  EXPECT_DOUBLE_EQ(read_pod<double>(stream), 3.25);
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  std::stringstream stream;
+  const std::vector<float> values{1.0F, -2.5F, 3.75F};
+  write_vector(stream, values);
+  EXPECT_EQ(read_vector<float>(stream), values);
+}
+
+TEST(Serialize, EmptyVectorRoundTrip) {
+  std::stringstream stream;
+  write_vector(stream, std::vector<int>{});
+  EXPECT_TRUE(read_vector<int>(stream).empty());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::stringstream stream;
+  write_string(stream, "hello splpg");
+  EXPECT_EQ(read_string(stream), "hello splpg");
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream stream;
+  write_pod<std::uint64_t>(stream, 100);  // promises 100 elements, provides none
+  EXPECT_THROW(read_vector<double>(stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace splpg::util
