@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Build and run the test suite under sanitizers:
+#
+#   scripts/run_sanitized.sh [address|undefined|thread ...]
+#
+# With no arguments runs the full matrix: ASan and UBSan over the tier-1
+# suite, then TSan over the concurrency-heavy binaries (test_dist,
+# test_trainer, test_util) — the barrier/elastic-membership/crash-recovery
+# paths are where a data race would live.
+#
+# Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
+# build-tsan/) so they never poison the main build/ directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(address undefined thread)
+fi
+
+for sanitizer in "${sanitizers[@]}"; do
+  case "$sanitizer" in
+    address)   dir=build-asan ;;
+    undefined) dir=build-ubsan ;;
+    thread)    dir=build-tsan ;;
+    *) echo "unknown sanitizer '$sanitizer' (want address|undefined|thread)" >&2; exit 2 ;;
+  esac
+
+  echo "=== $sanitizer ($dir) ==="
+  cmake -B "$dir" -S . -G Ninja -DSPLPG_SANITIZE="$sanitizer" >/dev/null
+  cmake --build "$dir" -j
+
+  if [ "$sanitizer" = thread ]; then
+    # TSan: target the multithreaded suites; halt_on_error keeps the first
+    # race report from being buried.
+    TSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir "$dir" --output-on-failure \
+        -R 'Barrier|Sync|Trainer|Integration|WorkerView' -j
+  else
+    ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      ctest --test-dir "$dir" --output-on-failure -j
+  fi
+done
+
+echo "all sanitizer runs passed"

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <exception>
+#include <filesystem>
 #include <memory>
+#include <mutex>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 
 #include "dist/worker_view.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/optimizer.hpp"
 #include "sampling/negative_sampler.hpp"
 #include "sampling/neighbor_sampler.hpp"
@@ -23,6 +28,11 @@ using graph::NodeId;
 using sampling::NodePair;
 
 namespace {
+
+/// Thrown by a worker when the fault plan schedules its crash. Not an
+/// error: the trainer parks the worker, survivors keep going, and the
+/// worker is respawned from the latest checkpoint at the epoch boundary.
+struct WorkerCrashed {};
 
 /// One worker's training step on one mini-batch. Returns the loss.
 float train_batch(dist::WorkerView& view, nn::LinkPredictionModel& model,
@@ -108,6 +118,12 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
     for (const auto& s : stats) result.sparsify_seconds += s.elapsed_seconds;
   }
 
+  // ---- master: fault injection ----
+  std::unique_ptr<dist::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<dist::FaultInjector>(config.faults, config.seed, num_workers);
+  }
+
   // ---- master: per-worker state ----
   nn::ModelConfig model_config = config.model;
   if (model_config.in_dim == 0) model_config.in_dim = features.dim();
@@ -117,10 +133,15 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
   std::vector<std::shared_ptr<nn::LinkPredictionModel>> replicas;
   std::vector<std::unique_ptr<nn::Adam>> optimizers;
   std::vector<std::unique_ptr<sampling::PerSourceNegativeSampler>> negative_samplers;
+  // Local-only fallback samplers for degraded batches (permanent fetch
+  // failure): same rejection oracle, candidates restricted to the worker's
+  // own partition.
+  std::vector<std::unique_ptr<sampling::PerSourceNegativeSampler>> fallback_samplers;
   std::vector<std::vector<Edge>> owned;
   views.reserve(num_workers);
   for (std::uint32_t w = 0; w < num_workers; ++w) {
     views.push_back(std::make_unique<dist::WorkerView>(store, w, policy));
+    if (injector) views[w]->attach_faults(injector.get(), config.retry);
     replicas.push_back(std::make_shared<nn::LinkPredictionModel>(model_config, config.seed));
     optimizers.push_back(std::make_unique<nn::Adam>(*replicas[w], config.learning_rate));
     // The rejection oracle uses the training graph: a worker always knows the
@@ -133,6 +154,17 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
         std::move(candidates),
         [&train_graph](NodeId u, NodeId v) { return train_graph.has_edge(u, v); },
         std::move(candidate_weights)));
+    if (injector) {
+      auto local_candidates = store.part_nodes(w);
+      auto local_weights = sampling::negative_candidate_weights(config.negative_distribution,
+                                                               train_graph, local_candidates);
+      fallback_samplers.push_back(std::make_unique<sampling::PerSourceNegativeSampler>(
+          std::move(local_candidates),
+          [&train_graph](NodeId u, NodeId v) { return train_graph.has_edge(u, v); },
+          std::move(local_weights)));
+    } else {
+      fallback_samplers.push_back(nullptr);
+    }
     owned.push_back(num_workers == 1
                         ? std::vector<Edge>(split.train_pos.begin(), split.train_pos.end())
                         : views[w]->owned_positive_edges(split.train_pos));
@@ -153,14 +185,53 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
   dist::DistContext context(num_workers);
   for (std::uint32_t w = 0; w < num_workers; ++w) context.register_replica(w, replicas[w].get());
 
+  // ---- master: checkpointing ----
+  // The latest checkpoint is kept serialized in memory for crash recovery;
+  // on-disk copies are written when checkpoint_dir is set. Written only by
+  // the master (before spawning) and by barrier serial sections.
+  std::string checkpoint_buffer;
+  auto write_checkpoint = [&](const nn::Module& module, std::uint32_t epoch) {
+    std::ostringstream out;
+    nn::save_parameters(out, module);
+    checkpoint_buffer = out.str();
+    if (!config.checkpoint_dir.empty()) {
+      std::filesystem::create_directories(config.checkpoint_dir);
+      nn::save_parameters_file(
+          config.checkpoint_dir + "/model_epoch_" + std::to_string(epoch) + ".bin", module);
+    }
+  };
+  if (config.checkpoint_every > 0) write_checkpoint(*replicas[0], 0);
+
   // Shared per-epoch accumulators (written by workers, read in the barrier's
   // serial section while all other threads are blocked).
   std::vector<double> epoch_loss(num_workers, 0.0);
   std::vector<std::uint64_t> epoch_batches(num_workers, 0);
   std::vector<std::exception_ptr> errors(num_workers);
   result.per_worker_comm.assign(num_workers, dist::CommStats{});
+  result.per_worker_fault.assign(num_workers, dist::FaultStats{});
   std::atomic<bool> stop_requested{false};
   std::uint32_t evaluations_since_best = 0;  // serial-section only
+
+  // Crash/recovery coordination. A crashed worker publishes its crash,
+  // leaves the collectives, and parks until the epoch-boundary serial
+  // section restores its replica from the latest checkpoint and rejoins it
+  // (or training ends).
+  const auto crash_pending = std::make_unique<std::atomic<bool>[]>(num_workers);
+  for (std::uint32_t w = 0; w < num_workers; ++w) crash_pending[w].store(false);
+  std::mutex recovery_mutex;
+  std::condition_variable recovery_cv;
+  std::vector<std::uint32_t> resume_epoch(num_workers, 0);
+  bool training_done = false;  // guarded by recovery_mutex
+
+  // First worker still participating in collectives — the replica used for
+  // evaluation, checkpoints, and LLCG correction (worker 0 on a fault-free
+  // run).
+  auto first_active = [&context]() -> std::uint32_t {
+    for (std::uint32_t w = 0; w < context.num_workers(); ++w) {
+      if (context.is_active(w)) return w;
+    }
+    return 0;
+  };
 
   auto worker_main = [&](std::uint32_t w) {
     try {
@@ -169,28 +240,59 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
       util::Rng shuffle_rng = worker_rng.split("shuffle");
       batches.reset(shuffle_rng);
 
-      for (std::uint32_t epoch = 1; epoch <= config.epochs; ++epoch) {
+      std::uint32_t epoch = 1;
+      while (epoch <= config.epochs) {
         const util::Stopwatch epoch_watch;
         util::Rng rng = worker_rng.split("epoch", epoch);
         epoch_loss[w] = 0.0;
         epoch_batches[w] = 0;
 
-        for (std::uint32_t round = 0; round < rounds; ++round) {
-          std::vector<Edge> batch = batches.next();
-          if (batch.empty()) {
-            batches.reset(shuffle_rng);
-            batch = batches.next();
+        try {
+          for (std::uint32_t round = 0; round < rounds; ++round) {
+            if (injector && injector->crash_due(w, epoch, round)) throw WorkerCrashed{};
+            std::vector<Edge> batch = batches.next();
+            if (batch.empty()) {
+              batches.reset(shuffle_rng);
+              batch = batches.next();
+            }
+            if (!batch.empty()) {
+              float loss = 0.0F;
+              try {
+                loss = train_batch(*views[w], *replicas[w], sampler, *negative_samplers[w],
+                                   batch, rng);
+              } catch (const dist::RemoteFetchError&) {
+                // Permanent fetch failure: finish the batch on local data
+                // (local negative candidates, no remote reads) instead of
+                // aborting the worker.
+                ++views[w]->meter().faults().degraded_batches;
+                views[w]->set_degraded(true);
+                loss = train_batch(*views[w], *replicas[w], sampler, *fallback_samplers[w],
+                                   batch, rng);
+                views[w]->set_degraded(false);
+              }
+              epoch_loss[w] += loss;
+              ++epoch_batches[w];
+            }
+            if (config.sync == dist::SyncMode::kGradientAveraging && num_workers > 1) {
+              context.all_reduce_gradients();
+            }
+            optimizers[w]->step();
           }
-          if (!batch.empty()) {
-            const float loss = train_batch(*views[w], *replicas[w], sampler,
-                                           *negative_samplers[w], batch, rng);
-            epoch_loss[w] += loss;
-            ++epoch_batches[w];
-          }
-          if (config.sync == dist::SyncMode::kGradientAveraging && num_workers > 1) {
-            context.all_reduce_gradients();
-          }
-          optimizers[w]->step();
+        } catch (const WorkerCrashed&) {
+          // Injected crash: publish, leave the collectives (survivors'
+          // barriers shrink), and park until the epoch-boundary recovery
+          // respawns this worker from the latest checkpoint.
+          views[w]->set_degraded(false);
+          ++views[w]->meter().faults().crashes;
+          crash_pending[w].store(true, std::memory_order_release);
+          SPLPG_WARN << "worker " << w << " crashed (injected) in epoch " << epoch;
+          context.leave(w);
+          std::unique_lock<std::mutex> lock(recovery_mutex);
+          recovery_cv.wait(lock, [&] { return training_done || resume_epoch[w] != 0; });
+          if (training_done) return;
+          epoch = resume_epoch[w];
+          resume_epoch[w] = 0;
+          continue;
         }
 
         if (config.sync == dist::SyncMode::kModelAveraging && num_workers > 1) {
@@ -200,6 +302,7 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
         // LLCG: server-side correction on the full graph, then broadcast.
         if (uses_global_correction(config.method)) {
           context.run_serial([&] {
+            const std::uint32_t src = first_active();
             dist::WorkerPolicy central{true, dist::RemoteAdjacency::kNone,
                                        dist::NegativeScope::kGlobal};
             partition::PartitionResult one_part;
@@ -214,24 +317,27 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
                 std::move(all_nodes),
                 [&train_graph](NodeId u, NodeId v) { return train_graph.has_edge(u, v); });
             util::Rng correction_rng = util::Rng(config.seed).split("llcg", epoch);
-            nn::Sgd corrector(*replicas[0], config.learning_rate);
+            nn::Sgd corrector(*replicas[src], config.learning_rate);
             std::vector<Edge> train_edges(split.train_pos.begin(), split.train_pos.end());
             sampling::BatchIterator correction_batches(train_edges, config.batch_size);
             correction_batches.reset(correction_rng);
             for (std::uint32_t b = 0; b < config.llcg_correction_batches; ++b) {
               const auto batch = correction_batches.next();
               if (batch.empty()) break;
-              train_batch(central_view, *replicas[0], sampler, central_negatives, batch,
+              train_batch(central_view, *replicas[src], sampler, central_negatives, batch,
                           correction_rng);
               corrector.step();
             }
-            for (std::uint32_t other = 1; other < num_workers; ++other) {
-              nn::copy_parameters(*replicas[0], *replicas[other]);
+            for (std::uint32_t other = 0; other < num_workers; ++other) {
+              if (other != src && context.is_active(other)) {
+                nn::copy_parameters(*replicas[src], *replicas[other]);
+              }
             }
           });
         }
 
-        // Epoch bookkeeping + optional evaluation (single thread).
+        // Epoch bookkeeping, optional evaluation, checkpointing, and crash
+        // recovery (single thread; survivors blocked at the barrier).
         context.run_serial([&] {
           EpochRecord record;
           record.epoch = epoch;
@@ -243,17 +349,21 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
             record.comm_gigabytes += epoch_comm.total_gigabytes();
             result.comm += epoch_comm;
             result.per_worker_comm[i] += epoch_comm;
+            const dist::FaultStats epoch_fault = views[i]->meter().drain_faults();
+            result.fault += epoch_fault;
+            result.per_worker_fault[i] += epoch_fault;
           }
           record.mean_loss =
               batches_total > 0 ? record.mean_loss / static_cast<double>(batches_total) : 0.0;
           result.total_batches += batches_total;
           record.seconds = epoch_watch.seconds();
 
+          const std::uint32_t src = first_active();
           const bool evaluate_now =
               (config.eval_every > 0 && epoch % config.eval_every == 0) ||
               epoch == config.epochs;
           if (evaluate_now) {
-            const EvalResult eval = evaluator.evaluate(*replicas[0]);
+            const EvalResult eval = evaluator.evaluate(*replicas[src]);
             record.val_hits = eval.val_hits;
             record.test_hits = eval.test_hits;
             record.test_auc = eval.test_auc;
@@ -273,14 +383,55 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
             }
           }
           result.history.push_back(record);
+
+          // Per-epoch checkpoint of the synchronized survivor state.
+          if (config.checkpoint_every > 0 && epoch % config.checkpoint_every == 0) {
+            write_checkpoint(*replicas[src], epoch);
+          }
+
+          // Recovery: restore crashed replicas from the latest checkpoint
+          // and rejoin them for the next epoch (or release them if training
+          // is over).
+          const bool final_epoch = epoch >= config.epochs || stop_requested.load();
+          {
+            std::lock_guard<std::mutex> lock(recovery_mutex);
+            for (std::uint32_t i = 0; i < num_workers; ++i) {
+              if (!crash_pending[i].load(std::memory_order_acquire)) continue;
+              crash_pending[i].store(false, std::memory_order_relaxed);
+              if (!checkpoint_buffer.empty()) {
+                std::istringstream in(checkpoint_buffer);
+                nn::load_parameters(in, *replicas[i]);
+              } else {
+                nn::copy_parameters(*replicas[src], *replicas[i]);
+              }
+              // A respawned worker restarts its optimizer (Adam moments are
+              // not checkpointed, matching the state_dict-of-the-model
+              // contract).
+              optimizers[i] = std::make_unique<nn::Adam>(*replicas[i], config.learning_rate);
+              if (!final_epoch) {
+                context.rejoin(i);
+                resume_epoch[i] = epoch + 1;
+                ++result.fault.recoveries;
+                ++result.per_worker_fault[i].recoveries;
+                SPLPG_INFO << "worker " << i << " respawned from checkpoint after epoch "
+                           << epoch;
+              }
+            }
+            if (final_epoch) training_done = true;
+          }
+          recovery_cv.notify_all();
         });
         if (stop_requested.load()) break;  // early stop: all workers agree
+        ++epoch;
       }
     } catch (...) {
+      // A real failure (not an injected fault): record it, leave the
+      // collectives so survivors cannot deadlock, and request a stop. The
+      // master rethrows after all threads have joined.
       errors[w] = std::current_exception();
-      // A failed worker would deadlock the barrier; fail fast instead.
-      SPLPG_ERROR << "worker " << w << " failed; aborting training";
-      std::terminate();
+      SPLPG_ERROR << "worker " << w << " failed; dropping from collectives";
+      stop_requested.store(true);
+      context.leave(w);
     }
   };
 

@@ -11,11 +11,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/evaluator.hpp"
 #include "core/method.hpp"
 #include "dist/comm_meter.hpp"
+#include "dist/fault.hpp"
+#include "dist/retry.hpp"
 #include "dist/sync.hpp"
 #include "graph/features.hpp"
 #include "nn/model.hpp"
@@ -47,6 +50,25 @@ struct TrainConfig {
   /// many evaluations (requires eval_every > 0). 0 = train all epochs (the
   /// paper's protocol: fixed epochs, report test at best validation).
   std::uint32_t patience = 0;
+
+  // ---- fault tolerance ----
+  /// Deterministic fault injection (seeded from `seed`). Default: none (a
+  /// perfect cluster). Transient fetch failures are retried per `retry`; a
+  /// permanently failed fetch degrades that batch to local data; scheduled
+  /// worker crashes are recovered from the latest checkpoint at the next
+  /// epoch boundary (survivors keep synchronizing meanwhile).
+  dist::FaultPlan faults;
+  /// Retry/backoff policy every remote fetch flows through when faults are
+  /// injected.
+  dist::RetryPolicy retry;
+  /// Epochs between model checkpoints (kept in memory for crash recovery;
+  /// also written to `checkpoint_dir` when set). 0 disables checkpointing —
+  /// a crashed worker is then restored by copying a survivor's replica.
+  std::uint32_t checkpoint_every = 1;
+  /// Optional directory for on-disk checkpoints (`model_epoch_<e>.bin`,
+  /// written via nn::save_parameters_file). Empty = in-memory only.
+  std::string checkpoint_dir;
+
   std::uint64_t seed = 1;
 };
 
@@ -81,6 +103,12 @@ struct TrainResult {
   /// Per-worker totals (same sum as `comm`) — exposes transfer-load
   /// imbalance across workers, which partitioning quality drives.
   std::vector<dist::CommStats> per_worker_comm;
+
+  // Fault outcomes (all zero on a fault-free run): retries, wasted bytes,
+  // degraded batches, crashes, checkpoint recoveries, simulated fault time.
+  // Bit-deterministic in config.seed like everything else.
+  dist::FaultStats fault;
+  std::vector<dist::FaultStats> per_worker_fault;
 
   // Preprocessing.
   double sparsify_seconds = 0.0;

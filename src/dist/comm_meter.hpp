@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "dist/fault.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace splpg::dist {
@@ -43,11 +44,22 @@ struct CommStats {
 
 class CommMeter {
  public:
-  /// Starts a new mini-batch: clears the per-batch dedup sets.
-  void begin_batch() {
+  /// Starts a new mini-batch: clears the per-batch dedup sets. Pass
+  /// `count = false` when re-running a batch after a degradation (the batch
+  /// was already counted; only the dedup state must reset).
+  void begin_batch(bool count = true) {
     batch_structure_.clear();
     batch_features_.clear();
-    ++stats_.batches;
+    if (count) ++stats_.batches;
+  }
+
+  /// True when `v`'s adjacency was already fetched this batch (a repeat read
+  /// is served from the batch cache: no RPC, so no fault can be injected).
+  [[nodiscard]] bool structure_cached(graph::NodeId v) const {
+    return batch_structure_.contains(v);
+  }
+  [[nodiscard]] bool features_cached(graph::NodeId v) const {
+    return batch_features_.contains(v);
   }
 
   /// Charges a structure fetch for node `v` unless already fetched in this
@@ -70,6 +82,11 @@ class CommMeter {
 
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
 
+  /// Fault outcomes metered alongside the transfer volume (retries, wasted
+  /// bytes, degraded batches, simulated latency/backoff).
+  [[nodiscard]] FaultStats& faults() noexcept { return fault_stats_; }
+  [[nodiscard]] const FaultStats& faults() const noexcept { return fault_stats_; }
+
   /// Snapshots and clears the counters (per-epoch reporting).
   CommStats drain() {
     CommStats out = stats_;
@@ -77,8 +94,15 @@ class CommMeter {
     return out;
   }
 
+  FaultStats drain_faults() {
+    FaultStats out = fault_stats_;
+    fault_stats_ = FaultStats{};
+    return out;
+  }
+
  private:
   CommStats stats_;
+  FaultStats fault_stats_;
   std::unordered_set<graph::NodeId> batch_structure_;
   std::unordered_set<graph::NodeId> batch_features_;
 };

@@ -1,0 +1,69 @@
+#include "dist/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace splpg::dist {
+
+void validate_fault_plan(const FaultPlan& plan, std::uint32_t num_workers) {
+  if (plan.transient_fetch_failure_rate < 0.0 || plan.transient_fetch_failure_rate >= 1.0) {
+    throw std::invalid_argument("FaultPlan: transient_fetch_failure_rate must be in [0, 1)");
+  }
+  if (plan.fetch_latency_seconds < 0.0) {
+    throw std::invalid_argument("FaultPlan: fetch_latency_seconds must be >= 0");
+  }
+  if (!plan.straggler_slowdown.empty() && plan.straggler_slowdown.size() != num_workers) {
+    throw std::invalid_argument("FaultPlan: straggler_slowdown needs one factor per worker");
+  }
+  for (const double factor : plan.straggler_slowdown) {
+    if (factor < 1.0) throw std::invalid_argument("FaultPlan: straggler factors must be >= 1");
+  }
+  if (!plan.crashes.empty() && num_workers < 2) {
+    throw std::invalid_argument("FaultPlan: crashes need >= 2 workers (a survivor must recover)");
+  }
+  std::unordered_map<std::uint32_t, std::uint32_t> crashes_per_epoch;
+  for (const CrashEvent& crash : plan.crashes) {
+    if (crash.worker >= num_workers) {
+      throw std::invalid_argument("FaultPlan: crash worker id " + std::to_string(crash.worker) +
+                                  " out of range");
+    }
+    if (crash.epoch == 0) throw std::invalid_argument("FaultPlan: crash epochs are 1-based");
+    if (++crashes_per_epoch[crash.epoch] >= num_workers) {
+      throw std::invalid_argument("FaultPlan: epoch " + std::to_string(crash.epoch) +
+                                  " crashes every worker; no survivor could recover");
+    }
+  }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed, std::uint32_t num_workers)
+    : plan_(std::move(plan)) {
+  validate_fault_plan(plan_, num_workers);
+  rngs_.reserve(num_workers);
+  const util::Rng root(seed);
+  for (std::uint32_t w = 0; w < num_workers; ++w) rngs_.push_back(root.split("fault", w));
+}
+
+bool FaultInjector::fetch_attempt_fails(std::uint32_t worker) {
+  if (plan_.transient_fetch_failure_rate <= 0.0) return false;
+  return rngs_[worker].bernoulli(plan_.transient_fetch_failure_rate);
+}
+
+double FaultInjector::fetch_latency_seconds(std::uint32_t worker) const noexcept {
+  return plan_.fetch_latency_seconds * straggler_factor(worker);
+}
+
+double FaultInjector::straggler_factor(std::uint32_t worker) const noexcept {
+  if (worker >= plan_.straggler_slowdown.size()) return 1.0;
+  return plan_.straggler_slowdown[worker];
+}
+
+bool FaultInjector::crash_due(std::uint32_t worker, std::uint32_t epoch,
+                              std::uint32_t batch) const noexcept {
+  for (const CrashEvent& crash : plan_.crashes) {
+    if (crash.worker == worker && crash.epoch == epoch && crash.batch == batch) return true;
+  }
+  return false;
+}
+
+}  // namespace splpg::dist

@@ -15,12 +15,16 @@ MasterStore::MasterStore(graph::CsrGraph graph, const graph::FeatureStore* featu
   }
   part_nodes_ = parts_.part_nodes();
 
-  halo_.assign(parts_.num_parts, std::vector<bool>(graph_.num_nodes(), false));
+  halo_.assign(parts_.num_parts, {});
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     const std::uint32_t part = parts_.assignment[v];
     for (const NodeId w : graph_.neighbors(v)) {
-      if (parts_.assignment[w] != part) halo_[part][w] = true;
+      if (parts_.assignment[w] != part) halo_[part].push_back(w);
     }
+  }
+  for (auto& halo : halo_) {
+    std::sort(halo.begin(), halo.end());
+    halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
   }
 }
 

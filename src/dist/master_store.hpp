@@ -10,6 +10,7 @@
 // (remote) is decided by WorkerView, not here.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -40,9 +41,17 @@ class MasterStore {
   }
 
   /// True iff `v` is a 1-hop neighbor of `part`'s core nodes without being a
-  /// core node itself.
+  /// core node itself. Binary search over the part's sorted halo list —
+  /// O(log halo) per query, O(sum of halo sizes) memory rather than the
+  /// O(parts * nodes) a per-part bitmap would cost.
   [[nodiscard]] bool in_halo(std::uint32_t part, graph::NodeId v) const {
-    return halo_[part][v];
+    const std::vector<graph::NodeId>& halo = halo_[part];
+    return std::binary_search(halo.begin(), halo.end(), v);
+  }
+
+  /// The sorted halo node list of a partition.
+  [[nodiscard]] const std::vector<graph::NodeId>& halo_nodes(std::uint32_t part) const {
+    return halo_[part];
   }
 
   /// Installs the sparsified partition graphs (global id space).
@@ -69,7 +78,7 @@ class MasterStore {
   const graph::FeatureStore* features_;
   partition::PartitionResult parts_;
   std::vector<std::vector<graph::NodeId>> part_nodes_;
-  std::vector<std::vector<bool>> halo_;  // [part][node]
+  std::vector<std::vector<graph::NodeId>> halo_;  // per part, sorted + deduplicated
   std::vector<graph::CsrGraph> sparsified_;
 };
 

@@ -5,8 +5,21 @@
 namespace splpg::dist {
 
 DistContext::DistContext(std::uint32_t num_workers)
-    : barrier_(num_workers), replicas_(num_workers, nullptr) {
+    : barrier_(num_workers),
+      replicas_(num_workers, nullptr),
+      active_(std::make_unique<std::atomic<bool>[]>(num_workers)) {
   if (num_workers == 0) throw std::invalid_argument("DistContext: need >= 1 worker");
+  for (std::uint32_t w = 0; w < num_workers; ++w) {
+    active_[w].store(true, std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t DistContext::active_workers() const noexcept {
+  std::uint32_t count = 0;
+  for (std::uint32_t w = 0; w < num_workers(); ++w) {
+    if (active_[w].load(std::memory_order_acquire)) ++count;
+  }
+  return count;
 }
 
 void DistContext::register_replica(std::uint32_t worker, nn::Module* replica) {
@@ -14,23 +27,49 @@ void DistContext::register_replica(std::uint32_t worker, nn::Module* replica) {
   replicas_[worker] = replica;
 }
 
+void DistContext::leave(std::uint32_t worker) {
+  if (worker >= replicas_.size()) throw std::out_of_range("DistContext: bad worker id");
+  active_[worker].store(false, std::memory_order_release);
+  barrier_.arrive_and_drop();
+}
+
+void DistContext::rejoin(std::uint32_t worker) {
+  if (worker >= replicas_.size()) throw std::out_of_range("DistContext: bad worker id");
+  if (active_[worker].load(std::memory_order_acquire)) {
+    throw std::logic_error("DistContext: rejoin of an active worker");
+  }
+  active_[worker].store(true, std::memory_order_release);
+  barrier_.add_party();
+}
+
 void DistContext::all_reduce_gradients() {
   barrier_.arrive_and_wait([this] {
-    const float inv = 1.0F / static_cast<float>(replicas_.size());
-    const std::size_t num_params = replicas_[0]->parameters().size();
+    const std::uint32_t n = active_workers();
+    if (n == 0) return;
+    nn::Module* first = nullptr;
+    for (std::uint32_t w = 0; w < num_workers(); ++w) {
+      if (is_active(w)) {
+        first = replicas_[w];
+        break;
+      }
+    }
+    const float inv = 1.0F / static_cast<float>(n);
+    const std::size_t num_params = first->parameters().size();
     for (std::size_t i = 0; i < num_params; ++i) {
       // Average in fixed worker order into a scratch buffer...
-      tensor::Matrix average(replicas_[0]->parameters()[i].value().rows(),
-                             replicas_[0]->parameters()[i].value().cols());
-      for (nn::Module* replica : replicas_) {
-        auto& grad = replica->parameters()[i].mutable_grad();
+      tensor::Matrix average(first->parameters()[i].value().rows(),
+                             first->parameters()[i].value().cols());
+      for (std::uint32_t w = 0; w < num_workers(); ++w) {
+        if (!is_active(w)) continue;
+        auto& grad = replicas_[w]->parameters()[i].mutable_grad();
         if (grad.empty()) continue;  // this worker skipped the round
         average.add_inplace(grad);
       }
       average.scale_inplace(inv);
-      // ...then distribute to every replica.
-      for (nn::Module* replica : replicas_) {
-        auto& grad = replica->parameters()[i].mutable_grad();
+      // ...then distribute to every active replica.
+      for (std::uint32_t w = 0; w < num_workers(); ++w) {
+        if (!is_active(w)) continue;
+        auto& grad = replicas_[w]->parameters()[i].mutable_grad();
         grad = average;
       }
     }
@@ -39,17 +78,28 @@ void DistContext::all_reduce_gradients() {
 
 void DistContext::average_models() {
   barrier_.arrive_and_wait([this] {
-    const float inv = 1.0F / static_cast<float>(replicas_.size());
-    const std::size_t num_params = replicas_[0]->parameters().size();
+    const std::uint32_t n = active_workers();
+    if (n == 0) return;
+    nn::Module* first = nullptr;
+    for (std::uint32_t w = 0; w < num_workers(); ++w) {
+      if (is_active(w)) {
+        first = replicas_[w];
+        break;
+      }
+    }
+    const float inv = 1.0F / static_cast<float>(n);
+    const std::size_t num_params = first->parameters().size();
     for (std::size_t i = 0; i < num_params; ++i) {
-      tensor::Matrix average(replicas_[0]->parameters()[i].value().rows(),
-                             replicas_[0]->parameters()[i].value().cols());
-      for (nn::Module* replica : replicas_) {
-        average.add_inplace(replica->parameters()[i].value());
+      tensor::Matrix average(first->parameters()[i].value().rows(),
+                             first->parameters()[i].value().cols());
+      for (std::uint32_t w = 0; w < num_workers(); ++w) {
+        if (!is_active(w)) continue;
+        average.add_inplace(replicas_[w]->parameters()[i].value());
       }
       average.scale_inplace(inv);
-      for (nn::Module* replica : replicas_) {
-        replica->parameters()[i].mutable_value() = average;
+      for (std::uint32_t w = 0; w < num_workers(); ++w) {
+        if (!is_active(w)) continue;
+        replicas_[w]->parameters()[i].mutable_value() = average;
       }
     }
   });

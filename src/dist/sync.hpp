@@ -7,9 +7,17 @@
 // The reduction runs in the *serial section* of a barrier — exactly one
 // thread sums in a fixed replica order — so results are bit-identical across
 // runs regardless of scheduling.
+//
+// Membership is elastic: a crashed worker `leave()`s (its replica stops
+// contributing and the barrier drops a party, so survivors' collectives
+// complete instead of deadlocking), and a recovered worker `rejoin()`s from
+// the next phase onward. Reductions always run over the active replicas in
+// fixed worker order, so survivor-only results stay bit-deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "nn/module.hpp"
@@ -27,18 +35,24 @@ class DistContext {
     return static_cast<std::uint32_t>(replicas_.size());
   }
 
+  /// Workers currently participating in collectives.
+  [[nodiscard]] std::uint32_t active_workers() const noexcept;
+  [[nodiscard]] bool is_active(std::uint32_t worker) const noexcept {
+    return active_[worker].load(std::memory_order_acquire);
+  }
+
   /// Registers worker i's model replica. Must be fully done (all workers)
   /// before any synchronization call; replicas must have identical
   /// parameter lists (same construction seed).
   void register_replica(std::uint32_t worker, nn::Module* replica);
 
   /// Collective: every worker thread calls this after backward(). On return,
-  /// every replica's gradients hold the across-worker average.
+  /// every ACTIVE replica's gradients hold the across-active-worker average.
   /// Workers whose replica has no gradient for a parameter contribute zeros.
   void all_reduce_gradients();
 
   /// Collective: every worker thread calls this at a model-averaging point.
-  /// On return, every replica's parameters hold the across-worker average.
+  /// On return, every ACTIVE replica's parameters hold the average.
   void average_models();
 
   /// Collective: plain barrier (epoch boundaries, evaluation fences).
@@ -46,12 +60,24 @@ class DistContext {
 
   /// Collective: runs `fn` on exactly one thread while the others wait at
   /// the barrier, then releases everyone. Returns true on the executing
-  /// thread.
+  /// thread. Exception-safe: a throwing `fn` releases the others before the
+  /// exception propagates on the executor.
   bool run_serial(const std::function<void()>& fn) { return barrier_.arrive_and_wait(fn); }
+
+  /// A crashed/stopping worker leaves the collective: its replica stops
+  /// contributing to reductions and the barrier sheds one party, so the
+  /// survivors' next collective completes without it.
+  void leave(std::uint32_t worker);
+
+  /// Re-admits a recovered worker (replica restored from checkpoint by the
+  /// caller). Safe to call from inside a `run_serial` section; the worker
+  /// participates from the next phase onward.
+  void rejoin(std::uint32_t worker);
 
  private:
   util::Barrier barrier_;
   std::vector<nn::Module*> replicas_;
+  std::unique_ptr<std::atomic<bool>[]> active_;
 };
 
 }  // namespace splpg::dist

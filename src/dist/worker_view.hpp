@@ -28,10 +28,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dist/comm_meter.hpp"
+#include "dist/fault.hpp"
 #include "dist/master_store.hpp"
+#include "dist/retry.hpp"
 #include "sampling/neighbor_sampler.hpp"
 #include "tensor/matrix.hpp"
 
@@ -46,6 +49,8 @@ struct WorkerPolicy {
   NegativeScope negatives = NegativeScope::kLocal;
 };
 
+[[nodiscard]] std::string to_string(const WorkerPolicy& policy);
+
 class WorkerView final : public sampling::AdjacencyProvider {
  public:
   WorkerView(const MasterStore& store, std::uint32_t part, WorkerPolicy policy);
@@ -54,8 +59,27 @@ class WorkerView final : public sampling::AdjacencyProvider {
   [[nodiscard]] const WorkerPolicy& policy() const noexcept { return policy_; }
   [[nodiscard]] CommMeter& meter() noexcept { return meter_; }
 
-  /// Must be called at every mini-batch boundary (resets fetch dedup).
-  void begin_batch() { meter_.begin_batch(); }
+  /// Attaches a fault injector (shared by all workers, keyed by this view's
+  /// part id) and the retry policy its remote fetches flow through. Pass
+  /// nullptr to restore the perfect-cluster default.
+  void attach_faults(FaultInjector* injector, RetryPolicy retry) {
+    injector_ = injector;
+    retry_ = retry;
+  }
+
+  /// Degraded mode (set by the trainer after a permanent fetch failure, for
+  /// the remainder of the batch): remote adjacency behaves as
+  /// RemoteAdjacency::kNone and non-local feature rows are served as zeros,
+  /// so the batch completes on local data instead of aborting.
+  void set_degraded(bool degraded) noexcept { degraded_ = degraded; }
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+
+  /// Must be called at every mini-batch boundary (resets fetch dedup and the
+  /// per-batch simulated fault-time budget).
+  void begin_batch() {
+    meter_.begin_batch(!degraded_);
+    if (!degraded_) batch_fault_seconds_ = 0.0;
+  }
 
   /// AdjacencyProvider: serves local reads for free and remote reads
   /// according to the policy, charging the meter.
@@ -63,9 +87,11 @@ class WorkerView final : public sampling::AdjacencyProvider {
                         std::vector<float>& weights) override;
 
   /// Gathers feature rows for `nodes` (a computational graph's input
-  /// frontier), charging the meter for non-local rows. Throws logic_error if
-  /// a non-local row is requested under RemoteAdjacency::kNone — by
-  /// construction that cannot happen for a correctly configured method.
+  /// frontier), charging the meter for non-local rows. Throws logic_error
+  /// (naming the partition, node, and policy) if a non-local row is
+  /// requested under RemoteAdjacency::kNone — by construction that cannot
+  /// happen for a correctly configured method. In degraded mode, non-local
+  /// rows are zero-filled instead of fetched.
   [[nodiscard]] tensor::Matrix gather_features(std::span<const graph::NodeId> nodes);
 
   /// Destination candidates for per-source negative sampling.
@@ -90,10 +116,19 @@ class WorkerView final : public sampling::AdjacencyProvider {
   }
 
  private:
+  /// Simulates the remote RPC for `bytes` of payload under the fault plan,
+  /// retrying per the policy. Returns false on permanent failure. No-op
+  /// (returns true) without an injector.
+  bool remote_fetch_succeeds(std::uint64_t bytes);
+
   const MasterStore* store_;
   std::uint32_t part_;
   WorkerPolicy policy_;
   CommMeter meter_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_;
+  bool degraded_ = false;
+  double batch_fault_seconds_ = 0.0;
 };
 
 }  // namespace splpg::dist

@@ -4,10 +4,22 @@
 // the dependency surface minimal and lets us expose `arrive_and_wait` with a
 // serial-section callback (run by exactly one thread per phase), which the
 // all-reduce uses for the deterministic summation step.
+//
+// Fault-tolerance extensions beyond std::barrier:
+//   - The serial section is exception-safe: if it throws, the barrier is
+//     released (no deadlocked waiters) and the exception propagates on the
+//     executing thread.
+//   - `arrive_and_drop()` permanently removes one party, so a crashed worker
+//     can leave a collective without deadlocking the survivors; the phase
+//     completes as soon as the remaining parties have arrived.
+//   - `add_party()` grows the membership again (worker recovery). Callable
+//     from inside a serial section: the section runs with the internal mutex
+//     released (waiters stay blocked on the generation count).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 
@@ -20,31 +32,89 @@ class Barrier {
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
 
-  /// Blocks until `parties` threads have arrived. If `serial_section` is
-  /// non-null, the last thread to arrive runs it (while the others are still
-  /// blocked), then everyone is released. Returns true for the thread that
-  /// executed the serial section.
+  /// Blocks until `parties()` threads have arrived (or enough parties have
+  /// dropped). If `serial_section` is non-null, the thread completing the
+  /// phase runs it while the others are still blocked, then everyone is
+  /// released. Returns true for the thread that executed the serial section.
+  /// If the serial section throws, all waiters are released and the
+  /// exception propagates on the executing thread.
   bool arrive_and_wait(const std::function<void()>& serial_section = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
-    const std::size_t my_generation = generation_;
-    if (++waiting_ == parties_) {
-      if (serial_section) serial_section();
-      waiting_ = 0;
-      ++generation_;
-      cv_.notify_all();
-      return true;
+    // A phase whose serial section is in flight has not reset `waiting_`
+    // yet; late arrivals belong to the NEXT phase and must not join it.
+    cv_.wait(lock, [&] { return !serial_running_; });
+    const std::uint64_t my_generation = generation_;
+    ++waiting_;
+    if (waiting_ >= parties_) return complete_phase(lock, serial_section);
+    cv_.wait(lock, [&] {
+      return generation_ != my_generation || (waiting_ >= parties_ && !serial_running_);
+    });
+    if (generation_ == my_generation) {
+      // `arrive_and_drop` shrank the membership while we were blocked; we
+      // are now the effective last arriver and must complete the phase.
+      return complete_phase(lock, serial_section);
     }
-    cv_.wait(lock, [&] { return generation_ != my_generation; });
     return false;
   }
 
-  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+  /// Permanently removes one party without waiting (a crashed/leaving
+  /// worker). If the remaining waiters now form a full phase, one of them is
+  /// woken to complete it.
+  void arrive_and_drop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (parties_ > 0) --parties_;
+    if (waiting_ >= parties_ && waiting_ > 0 && !serial_running_) cv_.notify_all();
+  }
+
+  /// Adds one party (worker recovery). The new party joins from the next
+  /// phase onward. Safe to call from inside a serial section.
+  void add_party() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++parties_;
+  }
+
+  [[nodiscard]] std::size_t parties() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return parties_;
+  }
 
  private:
-  const std::size_t parties_;
+  /// Pre: lock held, this thread completes the current phase. Runs the
+  /// serial section with the lock RELEASED (waiters remain blocked on the
+  /// generation count; new arrivals are fenced by `serial_running_`), then
+  /// releases everyone. Exception-safe: a throwing serial section still
+  /// releases the barrier before propagating.
+  bool complete_phase(std::unique_lock<std::mutex>& lock,
+                      const std::function<void()>& serial_section) {
+    if (serial_section) {
+      serial_running_ = true;
+      lock.unlock();
+      try {
+        serial_section();
+      } catch (...) {
+        lock.lock();
+        serial_running_ = false;
+        release_phase();
+        throw;
+      }
+      lock.lock();
+      serial_running_ = false;
+    }
+    release_phase();
+    return true;
+  }
+
+  void release_phase() {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  }
+
+  std::size_t parties_;
   std::size_t waiting_;
-  std::size_t generation_;
-  std::mutex mutex_;
+  std::uint64_t generation_;
+  bool serial_running_ = false;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
 };
 

@@ -1,6 +1,8 @@
 // Tests for model checkpointing and the network cost model.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "dist/cost_model.hpp"
@@ -72,6 +74,67 @@ TEST(Checkpoint, TruncatedStreamThrows) {
   EXPECT_THROW(nn::load_parameters(truncated, destination), std::exception);
 }
 
+// ---- file-based robustness (the trainer's crash-recovery path) ----
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "splpg_checkpoint_file_test";
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "model.bin").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(CheckpointFileTest, FileRoundTripRestoresAllParameters) {
+  nn::LinkPredictionModel source(small_config(), 1);
+  nn::LinkPredictionModel destination(small_config(), 2);
+  nn::save_parameters_file(path_, source);
+  nn::load_parameters_file(path_, destination);
+  for (std::size_t i = 0; i < source.parameters().size(); ++i) {
+    EXPECT_FLOAT_EQ(tensor::max_abs_diff(source.parameters()[i].value(),
+                                         destination.parameters()[i].value()),
+                    0.0F)
+        << "parameter " << i;
+  }
+}
+
+TEST_F(CheckpointFileTest, MissingFileThrows) {
+  nn::LinkPredictionModel model(small_config(), 1);
+  EXPECT_THROW(nn::load_parameters_file((dir_ / "absent.bin").string(), model),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointFileTest, TruncatedFileThrows) {
+  nn::LinkPredictionModel model(small_config(), 1);
+  nn::save_parameters_file(path_, model);
+  const auto full_size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full_size / 2);
+  nn::LinkPredictionModel destination(small_config(), 2);
+  EXPECT_THROW(nn::load_parameters_file(path_, destination), std::exception);
+}
+
+TEST_F(CheckpointFileTest, BadMagicFileThrows) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "not a checkpoint at all";
+  }
+  nn::LinkPredictionModel model(small_config(), 1);
+  EXPECT_THROW(nn::load_parameters_file(path_, model), std::runtime_error);
+}
+
+TEST_F(CheckpointFileTest, ShapeMismatchFileThrows) {
+  nn::LinkPredictionModel source(small_config(), 1);
+  nn::save_parameters_file(path_, source);
+  auto wide_config = small_config();
+  wide_config.hidden_dim = 16;
+  nn::LinkPredictionModel wide(wide_config, 1);
+  EXPECT_THROW(nn::load_parameters_file(path_, wide), std::invalid_argument);
+}
+
 TEST(CostModel, PureBandwidthMath) {
   dist::CommStats stats;
   stats.structure_bytes = 3'000'000'000ULL;  // 3 GB
@@ -99,6 +162,22 @@ TEST(CostModel, SlowerLinksCostMore) {
   const auto slow = dist::estimate_cost(stats, dist::commodity_1g());
   EXPECT_LT(fast.total_seconds(), medium.total_seconds());
   EXPECT_LT(medium.total_seconds(), slow.total_seconds());
+}
+
+TEST(CostModel, FaultOverheadAddsToTotal) {
+  dist::CommStats stats;
+  stats.structure_bytes = 1'000'000'000ULL;
+  dist::FaultStats faults;
+  faults.wasted_bytes = 500'000'000ULL;
+  faults.transient_failures = 100;
+  faults.injected_latency_seconds = 0.25;
+  faults.backoff_seconds = 0.5;
+  dist::LinkProfile link{"test", 1e9, 1e-3};
+  const auto base = dist::estimate_cost(stats, link);
+  const auto with_faults = dist::estimate_cost(stats, faults, link);
+  EXPECT_DOUBLE_EQ(with_faults.transfer_seconds, base.transfer_seconds);
+  EXPECT_NEAR(with_faults.fault_seconds, 0.5 + 0.1 + 0.25 + 0.5, 1e-9);
+  EXPECT_GT(with_faults.total_seconds(), base.total_seconds());
 }
 
 }  // namespace

@@ -3,13 +3,18 @@
 // method policy, and deterministic gradient/model synchronization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "core/method.hpp"
 #include "data/generators.hpp"
 #include "dist/comm_meter.hpp"
+#include "dist/fault.hpp"
 #include "dist/master_store.hpp"
+#include "dist/retry.hpp"
 #include "dist/sync.hpp"
 #include "dist/worker_view.hpp"
 #include "nn/model.hpp"
@@ -385,6 +390,217 @@ TEST(Sync, RunSerialExecutesOnce) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(runs.load(), 1);
   EXPECT_EQ(executors.load(), 1);
+}
+
+TEST(Sync, ReductionsRunOverSurvivorsAfterLeave) {
+  SyncFixture fixture(3);
+  fixture.replicas_[0]->parameters()[0].mutable_value().fill(1.0F);
+  fixture.replicas_[1]->parameters()[0].mutable_value().fill(3.0F);
+  fixture.replicas_[2]->parameters()[0].mutable_value().fill(100.0F);
+  fixture.context_.leave(2);
+  EXPECT_EQ(fixture.context_.active_workers(), 2U);
+  EXPECT_FALSE(fixture.context_.is_active(2));
+  std::vector<std::thread> threads;
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    threads.emplace_back([&] { fixture.context_.average_models(); });
+  }
+  for (auto& t : threads) t.join();
+  // Survivors averaged over themselves; the dead replica is untouched.
+  EXPECT_FLOAT_EQ(fixture.replicas_[0]->parameters()[0].value().at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(fixture.replicas_[1]->parameters()[0].value().at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(fixture.replicas_[2]->parameters()[0].value().at(0, 0), 100.0F);
+}
+
+TEST(Sync, RejoinRestoresFullMembership) {
+  SyncFixture fixture(2);
+  fixture.context_.leave(1);
+  fixture.context_.rejoin(1);
+  EXPECT_EQ(fixture.context_.active_workers(), 2U);
+  EXPECT_THROW(fixture.context_.rejoin(1), std::logic_error);  // already active
+  fixture.replicas_[0]->parameters()[0].mutable_value().fill(0.0F);
+  fixture.replicas_[1]->parameters()[0].mutable_value().fill(4.0F);
+  std::vector<std::thread> threads;
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    threads.emplace_back([&] { fixture.context_.average_models(); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FLOAT_EQ(fixture.replicas_[0]->parameters()[0].value().at(0, 0), 2.0F);
+}
+
+// ---- fault injection ----
+
+TEST(FaultPlan, ValidateRejectsMalformedPlans) {
+  FaultPlan rate;
+  rate.transient_fetch_failure_rate = 1.0;  // must stay < 1
+  EXPECT_THROW(validate_fault_plan(rate, 2), std::invalid_argument);
+
+  FaultPlan latency;
+  latency.fetch_latency_seconds = -1e-6;
+  EXPECT_THROW(validate_fault_plan(latency, 2), std::invalid_argument);
+
+  FaultPlan straggler;
+  straggler.straggler_slowdown = {1.0, 0.5};  // factors must be >= 1
+  EXPECT_THROW(validate_fault_plan(straggler, 2), std::invalid_argument);
+  straggler.straggler_slowdown = {2.0};  // wrong arity for 2 workers
+  EXPECT_THROW(validate_fault_plan(straggler, 2), std::invalid_argument);
+
+  FaultPlan crash;
+  crash.crashes = {{0, 1, 0}};
+  EXPECT_THROW(validate_fault_plan(crash, 1), std::invalid_argument);  // no survivor
+  crash.crashes = {{0, 1, 0}, {1, 1, 2}};
+  EXPECT_THROW(validate_fault_plan(crash, 2), std::invalid_argument);  // all crash in epoch 1
+  crash.crashes = {{0, 0, 0}};
+  EXPECT_THROW(validate_fault_plan(crash, 2), std::invalid_argument);  // epochs are 1-based
+  crash.crashes = {{0, 1, 0}};
+  EXPECT_NO_THROW(validate_fault_plan(crash, 2));
+}
+
+TEST(FaultInjector, DeterministicPerWorkerStreams) {
+  FaultPlan plan;
+  plan.transient_fetch_failure_rate = 0.5;
+  plan.fetch_latency_seconds = 1e-5;
+  plan.straggler_slowdown = {1.0, 4.0};
+
+  FaultInjector a(plan, 7, 2);
+  FaultInjector b(plan, 7, 2);
+  std::vector<bool> seq_a;
+  std::vector<bool> seq_b;
+  for (int i = 0; i < 64; ++i) {
+    seq_a.push_back(a.fetch_attempt_fails(0));
+    seq_b.push_back(b.fetch_attempt_fails(0));
+  }
+  EXPECT_EQ(seq_a, seq_b);  // bit-identical for the same seed
+  // The failure rate is honored roughly, and worker streams are independent.
+  const auto failures = std::count(seq_a.begin(), seq_a.end(), true);
+  EXPECT_GT(failures, 16);
+  EXPECT_LT(failures, 48);
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) other.push_back(a.fetch_attempt_fails(1));
+  EXPECT_NE(seq_a, other);
+  // Straggler factors scale the injected latency.
+  EXPECT_DOUBLE_EQ(a.fetch_latency_seconds(0), 1e-5);
+  EXPECT_DOUBLE_EQ(a.fetch_latency_seconds(1), 4e-5);
+
+  FaultInjector c(plan, 8, 2);
+  std::vector<bool> seq_c;
+  for (int i = 0; i < 64; ++i) seq_c.push_back(c.fetch_attempt_fails(0));
+  EXPECT_NE(seq_a, seq_c);  // a different seed diverges
+}
+
+TEST(FaultInjector, CrashDueMatchesSchedule) {
+  FaultPlan plan;
+  plan.crashes = {{1, 2, 3}};
+  const FaultInjector injector(plan, 1, 2);
+  EXPECT_TRUE(injector.crash_due(1, 2, 3));
+  EXPECT_FALSE(injector.crash_due(0, 2, 3));
+  EXPECT_FALSE(injector.crash_due(1, 1, 3));
+  EXPECT_FALSE(injector.crash_due(1, 2, 2));
+}
+
+TEST(RetryPolicy, BackoffGrowsAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff_seconds = 1e-3;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 3e-3;
+  policy.jitter = 0.0;
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1, rng), 1e-3);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(2, rng), 2e-3);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(3, rng), 3e-3);  // capped
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(9, rng), 3e-3);
+  policy.jitter = 0.5;
+  const double jittered = policy.backoff_seconds(1, rng);
+  EXPECT_GE(jittered, 1e-3);
+  EXPECT_LE(jittered, 1.5e-3);
+}
+
+TEST(WorkerViewFaults, RetriesAreMeteredAndDeterministic) {
+  const Fixture fixture;
+  const MasterStore store = fixture.make_store();
+  FaultPlan plan;
+  plan.transient_fetch_failure_rate = 0.4;
+  plan.fetch_latency_seconds = 1e-5;
+
+  auto run = [&](std::uint64_t seed) {
+    FaultInjector injector(plan, seed, 2);
+    WorkerView view(store, 0, {true, RemoteAdjacency::kFull, NegativeScope::kGlobal});
+    view.attach_faults(&injector, RetryPolicy{});
+    std::vector<NodeId> neighbors;
+    std::vector<float> weights;
+    for (int batch = 0; batch < 32; ++batch) {
+      view.begin_batch();
+      for (const NodeId v : {3U, 4U, 5U}) {
+        try {
+          view.append_neighbors(v, neighbors, weights);
+        } catch (const RemoteFetchError& e) {
+          EXPECT_EQ(e.part(), 0U);
+        }
+      }
+    }
+    return view.meter().drain_faults();
+  };
+
+  const FaultStats first = run(11);
+  const FaultStats second = run(11);
+  EXPECT_GT(first.transient_failures, 0U);
+  EXPECT_GT(first.wasted_bytes, 0U);
+  EXPECT_GT(first.injected_latency_seconds, 0.0);
+  // Every failed attempt is either retried or gives up permanently.
+  EXPECT_EQ(first.transient_failures, first.retries + first.permanent_failures);
+  // Same seed, same faults — bit-identical stats.
+  EXPECT_EQ(first.transient_failures, second.transient_failures);
+  EXPECT_EQ(first.retries, second.retries);
+  EXPECT_EQ(first.permanent_failures, second.permanent_failures);
+  EXPECT_EQ(first.wasted_bytes, second.wasted_bytes);
+  EXPECT_EQ(first.backoff_seconds, second.backoff_seconds);
+}
+
+TEST(WorkerViewFaults, PermanentFailureThrowsAndDegradedModeGoesLocal) {
+  const Fixture fixture;
+  const MasterStore store = fixture.make_store();
+  FaultPlan plan;
+  plan.transient_fetch_failure_rate = 0.9;
+  FaultInjector injector(plan, 3, 2);
+  RetryPolicy retry;
+  retry.max_attempts = 1;  // first transient failure is permanent
+  WorkerView view(store, 0, {true, RemoteAdjacency::kFull, NegativeScope::kGlobal});
+  view.attach_faults(&injector, retry);
+
+  std::vector<NodeId> neighbors;
+  std::vector<float> weights;
+  bool threw = false;
+  for (int batch = 0; batch < 64 && !threw; ++batch) {
+    view.begin_batch();
+    try {
+      view.append_neighbors(4, neighbors, weights);
+      neighbors.clear();
+      weights.clear();
+    } catch (const RemoteFetchError& e) {
+      threw = true;
+      EXPECT_EQ(e.node(), 4U);
+      EXPECT_NE(std::string(e.what()).find("partition"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(threw);  // rate 0.9: all 64 batches succeeding is impossible at this seed
+  EXPECT_GT(view.meter().faults().permanent_failures, 0U);
+
+  // Degraded mode: remote reads answer locally (empty adjacency, zero-filled
+  // features), never touch the injector, and don't count the batch.
+  const auto stats_before = view.meter().stats();
+  const auto faults_before = view.meter().faults();
+  view.set_degraded(true);
+  view.begin_batch();
+  neighbors.clear();
+  weights.clear();
+  view.append_neighbors(4, neighbors, weights);
+  EXPECT_TRUE(neighbors.empty());
+  const std::vector<NodeId> degraded_nodes{0, 4};
+  const auto feats = view.gather_features(degraded_nodes);
+  EXPECT_FLOAT_EQ(feats.at(1, 0), 0.0F);  // remote row zero-filled
+  view.set_degraded(false);
+  EXPECT_EQ(view.meter().stats().total_bytes(), stats_before.total_bytes());
+  EXPECT_EQ(view.meter().stats().batches, stats_before.batches);
+  EXPECT_EQ(view.meter().faults().transient_failures, faults_before.transient_failures);
 }
 
 }  // namespace

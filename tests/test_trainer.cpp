@@ -3,8 +3,13 @@
 // qualitative claims at miniature scale.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
+#include "nn/checkpoint.hpp"
 #include "sampling/edge_split.hpp"
 
 namespace splpg::core {
@@ -195,6 +200,126 @@ TEST(Trainer, MoreSparsificationMeansLessCommunication) {
   const TrainResult dense = train_link_prediction(problem().split, problem().dataset.features,
                                                   dense_config);
   EXPECT_LT(sparse.comm.total_bytes(), dense.comm.total_bytes());
+}
+
+// ---- fault tolerance ----
+
+/// A lively but survivable cluster: 2% transient fetch failures with injected
+/// latency, and worker 1 crashes at the start of epoch 2 (recovered from the
+/// epoch-1 checkpoint at the epoch-2 boundary).
+TrainConfig faulty_config() {
+  auto config = base_config(Method::kSplpg, 4);
+  config.faults.transient_fetch_failure_rate = 0.02;
+  config.faults.fetch_latency_seconds = 1e-5;
+  config.faults.crashes = {{1, 2, 0}};
+  return config;
+}
+
+TEST(TrainerFaults, CrashedWorkerRecoversAndAccuracySurvives) {
+  const TrainResult faulty = train_link_prediction(problem().split, problem().dataset.features,
+                                                   faulty_config());
+  // Training ran to completion through the crash...
+  EXPECT_EQ(faulty.history.size(), 4U);
+  EXPECT_EQ(faulty.fault.crashes, 1U);
+  EXPECT_EQ(faulty.fault.recoveries, 1U);
+  EXPECT_EQ(faulty.per_worker_fault[1].crashes, 1U);
+  EXPECT_GT(faulty.fault.transient_failures, 0U);
+  EXPECT_GT(faulty.fault.retries, 0U);
+  EXPECT_GT(faulty.fault.injected_latency_seconds, 0.0);
+  // ...and lands near the fault-free model's accuracy.
+  const TrainResult clean = train_link_prediction(problem().split, problem().dataset.features,
+                                                  base_config(Method::kSplpg, 4));
+  EXPECT_NEAR(faulty.test_auc, clean.test_auc, 0.05);
+  EXPECT_NEAR(faulty.test_hits, clean.test_hits, 0.15);
+}
+
+TEST(TrainerFaults, FaultStatsBitIdenticalAcrossRuns) {
+  const auto config = faulty_config();
+  const TrainResult a = train_link_prediction(problem().split, problem().dataset.features,
+                                              config);
+  const TrainResult b = train_link_prediction(problem().split, problem().dataset.features,
+                                              config);
+  EXPECT_EQ(a.fault.transient_failures, b.fault.transient_failures);
+  EXPECT_EQ(a.fault.retries, b.fault.retries);
+  EXPECT_EQ(a.fault.permanent_failures, b.fault.permanent_failures);
+  EXPECT_EQ(a.fault.wasted_bytes, b.fault.wasted_bytes);
+  EXPECT_EQ(a.fault.degraded_batches, b.fault.degraded_batches);
+  EXPECT_EQ(a.fault.crashes, b.fault.crashes);
+  EXPECT_EQ(a.fault.recoveries, b.fault.recoveries);
+  EXPECT_DOUBLE_EQ(a.fault.injected_latency_seconds, b.fault.injected_latency_seconds);
+  EXPECT_DOUBLE_EQ(a.fault.backoff_seconds, b.fault.backoff_seconds);
+  ASSERT_EQ(a.per_worker_fault.size(), b.per_worker_fault.size());
+  for (std::size_t w = 0; w < a.per_worker_fault.size(); ++w) {
+    EXPECT_EQ(a.per_worker_fault[w].transient_failures, b.per_worker_fault[w].transient_failures);
+    EXPECT_EQ(a.per_worker_fault[w].wasted_bytes, b.per_worker_fault[w].wasted_bytes);
+  }
+  // The training trajectory itself also stays bit-identical under faults.
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t e = 0; e < a.history.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.history[e].mean_loss, b.history[e].mean_loss);
+  }
+  EXPECT_DOUBLE_EQ(a.test_hits, b.test_hits);
+  EXPECT_EQ(a.comm.total_bytes(), b.comm.total_bytes());
+}
+
+TEST(TrainerFaults, PermanentFailuresDegradeBatchesButTrainingCompletes) {
+  auto config = base_config(Method::kSplpgPlus, 2);
+  config.faults.transient_fetch_failure_rate = 0.6;
+  config.retry.max_attempts = 2;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_EQ(result.history.size(), 2U);
+  EXPECT_GT(result.fault.permanent_failures, 0U);
+  EXPECT_GT(result.fault.degraded_batches, 0U);
+  EXPECT_GT(result.fault.wasted_bytes, 0U);
+}
+
+TEST(TrainerFaults, CrashUnderGradientAveragingCompletes) {
+  auto config = faulty_config();
+  config.sync = dist::SyncMode::kGradientAveraging;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_EQ(result.history.size(), 4U);
+  EXPECT_EQ(result.fault.crashes, 1U);
+  EXPECT_EQ(result.fault.recoveries, 1U);
+}
+
+TEST(TrainerFaults, CheckpointFilesWrittenAndFinalOneMatchesModel) {
+  const auto dir = std::filesystem::temp_directory_path() / "splpg_ckpt_test";
+  std::filesystem::remove_all(dir);
+  auto config = faulty_config();
+  config.checkpoint_dir = dir.string();
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  for (std::uint32_t e = 0; e <= 4; ++e) {
+    EXPECT_TRUE(std::filesystem::exists(dir / ("model_epoch_" + std::to_string(e) + ".bin")))
+        << "epoch " << e;
+  }
+  // Round trip: the final on-disk checkpoint restores the trained model.
+  nn::LinkPredictionModel restored(result.model->config(), 999);
+  nn::load_parameters_file((dir / "model_epoch_4.bin").string(), restored);
+  const auto& expected = result.model->parameters();
+  const auto& actual = restored.parameters();
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto& want = expected[i].value();
+    const auto& got = actual[i].value();
+    ASSERT_EQ(want.rows(), got.rows());
+    ASSERT_EQ(want.cols(), got.cols());
+    for (std::size_t r = 0; r < want.rows(); ++r) {
+      for (std::size_t c = 0; c < want.cols(); ++c) {
+        ASSERT_EQ(want.at(r, c), got.at(r, c));
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TrainerFaults, MalformedFaultPlanRejectedUpFront) {
+  auto config = base_config(Method::kSplpg, 1);
+  config.faults.transient_fetch_failure_rate = 1.5;
+  EXPECT_THROW(train_link_prediction(problem().split, problem().dataset.features, config),
+               std::invalid_argument);
 }
 
 class PartitionCountTest : public ::testing::TestWithParam<std::uint32_t> {};

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "util/barrier.hpp"
@@ -238,6 +239,96 @@ TEST(Barrier, SerialSectionSeesQuiescentThreads) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(sum_seen.load(), kThreads * (kThreads + 1) / 2);
+}
+
+TEST(Barrier, ThrowingSerialSectionReleasesWaiters) {
+  // Regression: a throwing serial section used to leave the phase open,
+  // deadlocking every other thread at the barrier forever.
+  constexpr int kThreads = 4;
+  Barrier barrier(kThreads);
+  std::atomic<int> released{0};
+  std::atomic<int> threw{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        barrier.arrive_and_wait([] { throw std::runtime_error("boom"); });
+      } catch (const std::runtime_error&) {
+        ++threw;
+      }
+      ++released;
+    });
+  }
+  for (auto& thread : threads) thread.join();  // must not hang
+  EXPECT_EQ(released.load(), kThreads);
+  EXPECT_EQ(threw.load(), 1);  // only the completing thread sees the exception
+
+  // The barrier stays usable for the next phase.
+  std::atomic<int> serial_runs{0};
+  std::vector<std::thread> again;
+  for (int t = 0; t < kThreads; ++t) {
+    again.emplace_back([&] { barrier.arrive_and_wait([&] { ++serial_runs; }); });
+  }
+  for (auto& thread : again) thread.join();
+  EXPECT_EQ(serial_runs.load(), 1);
+}
+
+TEST(Barrier, ArriveAndDropShrinksMembership) {
+  Barrier barrier(3);
+  std::atomic<int> phases{0};
+  std::thread dropper([&] { barrier.arrive_and_drop(); });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      barrier.arrive_and_wait([&] { ++phases; });
+      barrier.arrive_and_wait([&] { ++phases; });  // later phases need only 2
+    });
+  }
+  dropper.join();
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(phases.load(), 2);
+  EXPECT_EQ(barrier.parties(), 2U);
+}
+
+TEST(Barrier, ArriveAndDropReleasesBlockedWaiters) {
+  // The drop can land while the survivors are already blocked in the phase;
+  // it must wake one of them to complete it.
+  Barrier barrier(3);
+  std::atomic<bool> serial_ran{false};
+  std::atomic<int> arrived{0};
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 2; ++t) {
+    waiters.emplace_back([&] {
+      ++arrived;
+      barrier.arrive_and_wait([&] { serial_ran = true; });
+    });
+  }
+  while (arrived.load() < 2) std::this_thread::yield();
+  barrier.arrive_and_drop();
+  for (auto& thread : waiters) thread.join();
+  EXPECT_TRUE(serial_ran.load());
+}
+
+TEST(Barrier, AddPartyFromSerialSectionJoinsNextPhase) {
+  // The recovery path: a dropped worker is re-added from inside a serial
+  // section (rejoin), and the next phase requires it again.
+  Barrier barrier(2);
+  barrier.arrive_and_drop();  // membership: 1
+  std::atomic<int> phases{0};
+  std::thread solo([&] {
+    barrier.arrive_and_wait([&] {
+      ++phases;
+      barrier.add_party();  // membership back to 2 for the next phase
+    });
+  });
+  solo.join();
+  EXPECT_EQ(barrier.parties(), 2U);
+  std::vector<std::thread> pair;
+  for (int t = 0; t < 2; ++t) {
+    pair.emplace_back([&] { barrier.arrive_and_wait([&] { ++phases; }); });
+  }
+  for (auto& thread : pair) thread.join();
+  EXPECT_EQ(phases.load(), 2);
 }
 
 TEST(ThreadPool, RunsSubmittedTasks) {
