@@ -19,6 +19,10 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
   flags.define("max_batches", static_cast<std::int64_t>(8),
                "cap on mini-batches per epoch (0 = full epoch)");
   flags.define("alpha", 0.15, "sparsification level L = alpha * |E| (paper: 0.15)");
+  flags.define("threads", static_cast<std::int64_t>(1),
+               "master ThreadPool width for sparsification/evaluation "
+               "(1 = serial, 0 = hardware concurrency); results are "
+               "bit-identical at every setting");
   flags.define("datasets", defaults.datasets,
                "comma-separated dataset names, or 'all' for the full Table I list");
   flags.define("partitions", defaults.partitions, "comma-separated partition counts");
@@ -32,6 +36,7 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
   env.layers = static_cast<std::uint32_t>(flags.get_int("layers"));
   env.max_batches = static_cast<std::uint32_t>(flags.get_int("max_batches"));
   env.alpha = flags.get_double("alpha");
+  env.threads = static_cast<std::size_t>(flags.get_int("threads"));
 
   const std::string datasets = flags.get_string("datasets");
   if (datasets == "all") {
@@ -73,6 +78,7 @@ core::TrainConfig make_config(const Env& env, core::Method method, std::uint32_t
   config.num_partitions = partitions;
   config.max_batches_per_epoch = env.max_batches;
   config.alpha = env.alpha;
+  config.num_threads = env.threads;
   config.seed = env.seed;
   // The paper reports model averaging over 500 epochs and notes gradient
   // averaging performs "more or less the same" (§V-A). At the harness's

@@ -26,6 +26,7 @@ struct Env {
   std::uint32_t layers = 3;
   std::uint32_t max_batches = 6;
   double alpha = 0.15;
+  std::size_t threads = 1;  // master ThreadPool width (1 = serial, 0 = hardware)
   std::vector<std::string> datasets;
   std::vector<std::uint32_t> partitions;
 };

@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
   flags.define("partitions", static_cast<std::int64_t>(4), "number of workers/partitions");
   flags.define("hidden", static_cast<std::int64_t>(64), "hidden dimension");
   flags.define("seed", static_cast<std::int64_t>(1), "run seed");
+  flags.define("threads", static_cast<std::int64_t>(1),
+               "master ThreadPool width for sparsification/evaluation "
+               "(1 = serial, 0 = hardware); results are bit-identical");
   if (!flags.parse(argc, argv)) return 1;
 
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed"));
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
   config.batch_size = dataset.batch_size;
   config.num_partitions = static_cast<std::uint32_t>(flags.get_int("partitions"));
   config.sync = dist::SyncMode::kGradientAveraging;
+  config.num_threads = static_cast<std::size_t>(flags.get_int("threads"));
   config.seed = seed;
 
   // 4. Train centralized (the accuracy reference), then SpLPG.

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build and run the parallel-preprocessing benchmark, leaving its
+# machine-readable results in BENCH_parallel.json at the repo root:
+#
+#   scripts/run_bench.sh [extra bench flags...]
+# e.g.
+#   scripts/run_bench.sh --threads=8 --partitions=16 --scale=0.5
+#
+# The benchmark verifies that every pooled hot path (partition
+# sparsification, dense ER kernels, evaluation scoring) is bit-identical to
+# its serial counterpart before timing it, and records the host's hardware
+# concurrency — speedups are bounded by the cores actually available.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -G Ninja >/dev/null
+cmake --build build -j --target bench_parallel_preprocessing
+
+build/bench/bench_parallel_preprocessing --json=BENCH_parallel.json "$@" \
+  | tee bench_parallel_output.txt
+
+echo "results written to BENCH_parallel.json"

@@ -5,8 +5,9 @@
 #
 # With no arguments runs the full matrix: ASan and UBSan over the tier-1
 # suite, then TSan over the concurrency-heavy binaries (test_dist,
-# test_trainer, test_util) — the barrier/elastic-membership/crash-recovery
-# paths are where a data race would live.
+# test_trainer, test_util, and the ThreadPool-parallel sparsify/eval paths) —
+# the barrier/elastic-membership/crash-recovery and pool fan-out paths are
+# where a data race would live.
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so they never poison the main build/ directory.
@@ -35,7 +36,7 @@ for sanitizer in "${sanitizers[@]}"; do
     # race report from being buried.
     TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir "$dir" --output-on-failure \
-        -R 'Barrier|Sync|Trainer|Integration|WorkerView' -j
+        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels' -j
   else
     ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
       ctest --test-dir "$dir" --output-on-failure -j

@@ -12,20 +12,26 @@ using sampling::NodePair;
 
 Evaluator::Evaluator(const sampling::LinkSplit& split, const graph::FeatureStore& features,
                      std::vector<std::uint32_t> fanouts, std::size_t k, std::size_t chunk_size,
-                     std::uint64_t seed)
+                     std::uint64_t seed, std::size_t num_threads)
     : split_(&split), features_(&features), fanouts_(std::move(fanouts)), k_(k),
-      chunk_size_(std::max<std::size_t>(1, chunk_size)), seed_(seed) {}
+      chunk_size_(std::max<std::size_t>(1, chunk_size)), seed_(seed),
+      pool_(num_threads != 1 ? std::make_unique<util::ThreadPool>(num_threads) : nullptr) {}
 
 std::vector<float> Evaluator::score_pairs(const nn::LinkPredictionModel& model,
                                           std::span<const NodePair> pairs) const {
-  util::Rng rng = util::Rng(seed_).split("evaluator");
-  sampling::GraphProvider provider(split_->train_graph);
+  const util::Rng base_rng = util::Rng(seed_).split("evaluator");
   const sampling::NeighborSampler sampler(fanouts_);
+  const std::size_t num_chunks = (pairs.size() + chunk_size_ - 1) / chunk_size_;
 
-  std::vector<float> scores;
-  scores.reserve(pairs.size());
-  for (std::size_t begin = 0; begin < pairs.size(); begin += chunk_size_) {
+  // Each chunk draws from its own pre-split rng stream and writes a disjoint
+  // slice of `scores`, so pooled and serial scoring produce identical bytes.
+  std::vector<float> scores(pairs.size());
+  auto score_chunk = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * chunk_size_;
     const std::size_t end = std::min(pairs.size(), begin + chunk_size_);
+    util::Rng rng = base_rng.split("chunk", chunk);
+    sampling::GraphProvider provider(split_->train_graph);
+
     std::vector<NodeId> seeds;
     seeds.reserve(2 * (end - begin));
     for (std::size_t i = begin; i < end; ++i) {
@@ -47,8 +53,13 @@ std::vector<float> Evaluator::score_pairs(const nn::LinkPredictionModel& model,
     }
     const auto logits = model.score(embeddings, index_pairs);
     for (std::size_t i = 0; i < index_pairs.size(); ++i) {
-      scores.push_back(logits.value().at(i, 0));
+      scores[begin + i] = logits.value().at(i, 0);
     }
+  };
+  if (pool_ != nullptr && num_chunks > 1) {
+    pool_->parallel_for(0, num_chunks, score_chunk);
+  } else {
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) score_chunk(chunk);
   }
   return scores;
 }

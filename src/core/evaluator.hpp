@@ -7,12 +7,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "eval/metrics.hpp"
 #include "graph/features.hpp"
 #include "nn/model.hpp"
 #include "sampling/edge_split.hpp"
+#include "util/thread_pool.hpp"
 
 namespace splpg::core {
 
@@ -30,9 +32,14 @@ class Evaluator {
   /// paper's scale (3x negatives, Hits@100) that matches roughly the top 3%
   /// threshold; at reduced synthetic scale it keeps the metric equally
   /// discriminative.
+  ///
+  /// `num_threads != 1` scores eval chunks on an internal ThreadPool
+  /// (0 = hardware concurrency). Each chunk samples from its own pre-split
+  /// RNG stream, so scores are bit-identical at every thread count.
   Evaluator(const sampling::LinkSplit& split, const graph::FeatureStore& features,
             std::vector<std::uint32_t> fanouts, std::size_t k = 0,
-            std::size_t chunk_size = 512, std::uint64_t seed = 7);
+            std::size_t chunk_size = 512, std::uint64_t seed = 7,
+            std::size_t num_threads = 1);
 
   /// Deterministic: the sampling rng is re-seeded per call.
   [[nodiscard]] EvalResult evaluate(const nn::LinkPredictionModel& model) const;
@@ -48,6 +55,7 @@ class Evaluator {
   std::size_t k_;
   std::size_t chunk_size_;
   std::uint64_t seed_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null = serial scoring
 };
 
 }  // namespace splpg::core

@@ -108,14 +108,17 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
 
   // ---- master: sparsify (SpLPG only) ----
   if (uses_sparsification(config.method)) {
-    const auto sparsifier = sparsify::make_sparsifier(config.sparsifier, config.alpha);
+    const auto sparsifier = sparsify::make_sparsifier(
+        config.sparsifier, sparsify::SparsifyConfig{config.alpha, config.num_threads});
     std::vector<sparsify::SparsifyStats> stats;
     util::Rng sparsify_rng = util::Rng(config.seed).split("sparsify");
     std::vector<std::uint32_t> assignment(store.graph().num_nodes());
     for (NodeId v = 0; v < store.graph().num_nodes(); ++v) assignment[v] = store.part_of(v);
+    const util::Stopwatch sparsify_watch;
     store.set_sparsified(sparsifier->sparsify_partitions(store.graph(), assignment, num_workers,
                                                          sparsify_rng, &stats));
-    for (const auto& s : stats) result.sparsify_seconds += s.elapsed_seconds;
+    result.sparsify_seconds = sparsify_watch.seconds();
+    for (const auto& s : stats) result.sparsify_cpu_seconds += s.cpu_seconds;
   }
 
   // ---- master: fault injection ----
@@ -172,7 +175,8 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
 
   const auto fanouts = config.fanouts.empty() ? replicas[0]->default_fanouts() : config.fanouts;
   const sampling::NeighborSampler sampler(fanouts);
-  const Evaluator evaluator(split, features, fanouts, config.eval_k);
+  const Evaluator evaluator(split, features, fanouts, config.eval_k, 512, 7,
+                            config.num_threads);
 
   // Synchronization rounds per epoch: every worker participates in every
   // round; workers with fewer owned edges wrap their iterator.
@@ -211,6 +215,11 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
   result.per_worker_fault.assign(num_workers, dist::FaultStats{});
   std::atomic<bool> stop_requested{false};
   std::uint32_t evaluations_since_best = 0;  // serial-section only
+  // Which replica the most recent evaluation scored (serial-section only,
+  // read by the master after join). After a worker-0 crash the survivors'
+  // replica and a checkpoint-restored replicas[0] can disagree, so the
+  // returned model must be the evaluated one.
+  std::uint32_t final_eval_worker = 0;
 
   // Crash/recovery coordination. A crashed worker publishes its crash,
   // leaves the collectives, and parks until the epoch-boundary serial
@@ -364,6 +373,7 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
               epoch == config.epochs;
           if (evaluate_now) {
             const EvalResult eval = evaluator.evaluate(*replicas[src]);
+            final_eval_worker = src;
             record.val_hits = eval.val_hits;
             record.test_hits = eval.test_hits;
             record.test_auc = eval.test_auc;
@@ -447,10 +457,15 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
     if (error) std::rethrow_exception(error);
   }
 
+  // Normalize by the epochs actually run — early stopping (patience) can end
+  // training with history.size() < config.epochs, and dividing by the
+  // configured count would understate the per-epoch cost.
   result.comm_gigabytes_per_epoch =
-      config.epochs > 0 ? result.comm.total_gigabytes() / config.epochs : 0.0;
+      result.history.empty()
+          ? 0.0
+          : result.comm.total_gigabytes() / static_cast<double>(result.history.size());
   result.train_seconds = total_watch.seconds();
-  result.model = replicas[0];
+  result.model = replicas[final_eval_worker];
   return result;
 }
 

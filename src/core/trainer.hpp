@@ -69,6 +69,13 @@ struct TrainConfig {
   /// written via nn::save_parameters_file). Empty = in-memory only.
   std::string checkpoint_dir;
 
+  /// Master-side ThreadPool width for the preprocessing and evaluation hot
+  /// paths (partition sparsification, evaluation batch scoring). 1 = serial
+  /// (default), 0 = hardware concurrency, N = N pool threads. Results are
+  /// bit-identical at every setting; worker-thread count is always
+  /// `num_partitions` and unaffected by this knob.
+  std::size_t num_threads = 1;
+
   std::uint64_t seed = 1;
 };
 
@@ -86,8 +93,10 @@ struct TrainResult {
   Method method = Method::kCentralized;
   std::vector<EpochRecord> history;
 
-  /// The trained (synchronized) model — worker 0's replica after the final
-  /// epoch. Use with core::Evaluator for serving/inference.
+  /// The trained (synchronized) model — the replica the final evaluation
+  /// scored (the lowest-indexed surviving worker; worker 0 unless it
+  /// crashed). Use with core::Evaluator for serving/inference — re-evaluating
+  /// it reproduces `test_hits` exactly.
   std::shared_ptr<nn::LinkPredictionModel> model;
 
   // Accuracy: test metrics at the best-validation epoch when per-epoch
@@ -110,8 +119,12 @@ struct TrainResult {
   dist::FaultStats fault;
   std::vector<dist::FaultStats> per_worker_fault;
 
-  // Preprocessing.
+  // Preprocessing. `sparsify_seconds` is the master's wall-clock spent in
+  // sparsify_partitions; `sparsify_cpu_seconds` sums the per-partition thread
+  // CPU time, so cpu/wall > 1 indicates pool speedup (cpu ~ wall when
+  // num_threads == 1).
   double sparsify_seconds = 0.0;
+  double sparsify_cpu_seconds = 0.0;
   graph::EdgeId partition_edge_cut = 0;
   double partition_balance = 1.0;
 

@@ -37,7 +37,17 @@ NodeId PerSourceNegativeSampler::sample_destination(NodeId source, Rng& rng,
     if (is_edge_(source, candidate)) continue;
     return candidate;
   }
-  return last;
+  // Rejection exhausted (source's neighborhood covers almost the whole
+  // candidate set): scan from a random offset for any valid destination so a
+  // hub cannot turn its own neighbors — or itself — into "negatives".
+  const std::size_t offset = rng.uniform_u64(candidates_.size());
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const NodeId candidate = candidates_[(offset + i) % candidates_.size()];
+    if (candidate == source) continue;
+    if (is_edge_(source, candidate)) continue;
+    return candidate;
+  }
+  return last;  // every candidate is source or a neighbor
 }
 
 std::vector<double> negative_candidate_weights(NegativeDistribution distribution,

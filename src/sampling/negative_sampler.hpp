@@ -42,8 +42,11 @@ class PerSourceNegativeSampler {
 
   /// One negative destination for `source`: uniform over candidates,
   /// rejecting `source` itself and its neighbors (per `is_edge`). After
-  /// `max_tries` rejections the last candidate is returned (graphs that are
-  /// near-complete around a hub would otherwise loop forever).
+  /// `max_tries` rejections (near-complete neighborhoods around a hub) falls
+  /// back to a deterministic scan of the candidate list from a random offset
+  /// and returns the first valid destination; only when *no* candidate is
+  /// valid (the source is connected to every other candidate) does it return
+  /// the last rejected draw.
   [[nodiscard]] graph::NodeId sample_destination(graph::NodeId source, util::Rng& rng,
                                                  std::uint32_t max_tries = 64) const;
 

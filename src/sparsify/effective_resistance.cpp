@@ -1,9 +1,10 @@
 #include "sparsify/effective_resistance.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <functional>
 
 #include "tensor/eigen.hpp"
+#include "util/thread_pool.hpp"
 
 namespace splpg::sparsify {
 
@@ -11,22 +12,44 @@ using graph::CsrGraph;
 using graph::NodeId;
 using tensor::Matrix;
 
-Matrix laplacian(const CsrGraph& graph) {
+namespace {
+
+/// Runs fn(i) over [0, n) — on the pool when one is given, inline otherwise.
+/// Callers guarantee fn(i) touches state no other i touches, so pooled and
+/// inline execution produce identical bytes.
+void for_each_index(std::size_t n, util::ThreadPool* pool,
+                    const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for(0, n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+Matrix laplacian(const CsrGraph& graph, util::ThreadPool* pool) {
   const NodeId n = graph.num_nodes();
   Matrix lap(n, n);
-  const auto edges = graph.edges();
-  for (std::size_t e = 0; e < edges.size(); ++e) {
-    const auto [u, v] = edges[e];
-    const float w = graph.edge_weight(e);
-    lap.at(u, v) -= w;
-    lap.at(v, u) -= w;
-    lap.at(u, u) += w;
-    lap.at(v, v) += w;
-  }
+  // Row u depends only on u's adjacency: off-diagonals are -w per neighbor,
+  // the diagonal is u's weighted degree. Rows are disjoint, so row blocks
+  // parallelize without synchronization.
+  for_each_index(n, pool, [&](std::size_t row) {
+    const auto u = static_cast<NodeId>(row);
+    const auto neighbors = graph.neighbors(u);
+    const auto weights = graph.neighbor_weights(u);
+    float degree = 0.0F;
+    for (std::size_t k = 0; k < neighbors.size(); ++k) {
+      const float w = weights.empty() ? 1.0F : weights[k];
+      lap.at(u, neighbors[k]) = -w;
+      degree += w;
+    }
+    lap.at(u, u) = degree;
+  });
   return lap;
 }
 
-Matrix normalized_laplacian(const CsrGraph& graph) {
+Matrix normalized_laplacian(const CsrGraph& graph, util::ThreadPool* pool) {
   const NodeId n = graph.num_nodes();
   // Weighted degrees.
   std::vector<double> degree(n, 0.0);
@@ -37,28 +60,30 @@ Matrix normalized_laplacian(const CsrGraph& graph) {
     degree[u] += w;
     degree[v] += w;
   }
-  Matrix lap = laplacian(graph);
+  const Matrix lap = laplacian(graph, pool);
   Matrix out(n, n);
-  for (NodeId i = 0; i < n; ++i) {
+  for_each_index(n, pool, [&](std::size_t row) {
+    const auto i = static_cast<NodeId>(row);
+    const double di = degree[i];
+    if (di <= 0.0) return;
     for (NodeId j = 0; j < n; ++j) {
-      const double di = degree[i];
       const double dj = degree[j];
-      if (di <= 0.0 || dj <= 0.0) continue;
+      if (dj <= 0.0) continue;
       out.at(i, j) = static_cast<float>(lap.at(i, j) / std::sqrt(di * dj));
     }
-  }
+  });
   return out;
 }
 
-std::vector<double> exact_effective_resistance(const CsrGraph& graph) {
-  const Matrix pinv = tensor::symmetric_pseudo_inverse(laplacian(graph));
-  std::vector<double> resistance;
-  resistance.reserve(graph.num_edges());
-  for (const auto& [u, v] : graph.edges()) {
+std::vector<double> exact_effective_resistance(const CsrGraph& graph, util::ThreadPool* pool) {
+  const Matrix pinv = tensor::symmetric_pseudo_inverse(laplacian(graph, pool), 1e-8, pool);
+  const auto edges = graph.edges();
+  std::vector<double> resistance(edges.size());
+  for_each_index(edges.size(), pool, [&](std::size_t e) {
+    const auto [u, v] = edges[e];
     // (e_u - e_v)^T L+ (e_u - e_v) = L+_uu + L+_vv - 2 L+_uv.
-    const double r = static_cast<double>(pinv.at(u, u)) + pinv.at(v, v) - 2.0 * pinv.at(u, v);
-    resistance.push_back(r);
-  }
+    resistance[e] = static_cast<double>(pinv.at(u, u)) + pinv.at(v, v) - 2.0 * pinv.at(u, v);
+  });
   return resistance;
 }
 
@@ -68,14 +93,19 @@ std::vector<double> approx_effective_resistance(const CsrGraph& graph) {
   for (const auto& [u, v] : graph.edges()) {
     const double du = graph.degree(u);
     const double dv = graph.degree(v);
-    assert(du > 0 && dv > 0);
-    proxy.push_back(1.0 / du + 1.0 / dv);
+    // Degree-0 endpoints contribute 0 instead of 1/0: partition-induced
+    // subgraphs keep the global node set, so callers may hand us graphs
+    // whose degree array has holes (a release build must not divide by
+    // zero even if the edge list and degrees disagree).
+    const double inv_du = du > 0.0 ? 1.0 / du : 0.0;
+    const double inv_dv = dv > 0.0 ? 1.0 / dv : 0.0;
+    proxy.push_back(inv_du + inv_dv);
   }
   return proxy;
 }
 
-double normalized_laplacian_gamma(const CsrGraph& graph) {
-  const auto decomposition = tensor::symmetric_eigen(normalized_laplacian(graph));
+double normalized_laplacian_gamma(const CsrGraph& graph, util::ThreadPool* pool) {
+  const auto decomposition = tensor::symmetric_eigen(normalized_laplacian(graph, pool));
   if (decomposition.eigenvalues.size() < 2) return 0.0;
   return decomposition.eigenvalues[1];
 }

@@ -15,25 +15,40 @@
 #include "graph/csr_graph.hpp"
 #include "tensor/matrix.hpp"
 
+namespace splpg::util {
+class ThreadPool;
+}  // namespace splpg::util
+
 namespace splpg::sparsify {
 
+// The dense kernels accept an optional ThreadPool; passing one row-blocks the
+// O(n^2) fill loops across it. Results are bit-identical with and without a
+// pool (threads own disjoint row/edge blocks; per-element accumulation order
+// is unchanged).
+
 /// Combinatorial Laplacian L = D - A as a dense matrix (weights respected).
-[[nodiscard]] tensor::Matrix laplacian(const graph::CsrGraph& graph);
+[[nodiscard]] tensor::Matrix laplacian(const graph::CsrGraph& graph,
+                                       util::ThreadPool* pool = nullptr);
 
 /// Symmetric normalized Laplacian D^-1/2 L D^-1/2 (isolated nodes yield zero
 /// rows/columns).
-[[nodiscard]] tensor::Matrix normalized_laplacian(const graph::CsrGraph& graph);
+[[nodiscard]] tensor::Matrix normalized_laplacian(const graph::CsrGraph& graph,
+                                                  util::ThreadPool* pool = nullptr);
 
 /// Exact effective resistance per canonical edge via the Laplacian
 /// pseudo-inverse. O(n^3 + m).
-[[nodiscard]] std::vector<double> exact_effective_resistance(const graph::CsrGraph& graph);
+[[nodiscard]] std::vector<double> exact_effective_resistance(const graph::CsrGraph& graph,
+                                                             util::ThreadPool* pool = nullptr);
 
 /// Degree-based upper-bound proxy per canonical edge: 1/du + 1/dv.
-/// This is what SpLPG's sampler uses (Theorem 2).
+/// This is what SpLPG's sampler uses (Theorem 2). Degree-0 endpoints (which
+/// partition-induced subgraphs can produce) contribute 0 instead of dividing
+/// by zero.
 [[nodiscard]] std::vector<double> approx_effective_resistance(const graph::CsrGraph& graph);
 
 /// Second-smallest eigenvalue of the normalized Laplacian (gamma in
 /// Theorem 2). O(n^3) — validation only.
-[[nodiscard]] double normalized_laplacian_gamma(const graph::CsrGraph& graph);
+[[nodiscard]] double normalized_laplacian_gamma(const graph::CsrGraph& graph,
+                                                util::ThreadPool* pool = nullptr);
 
 }  // namespace splpg::sparsify

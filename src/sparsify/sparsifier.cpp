@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace splpg::sparsify {
@@ -16,7 +17,8 @@ using graph::NodeId;
 using util::AliasTable;
 using util::Rng;
 
-Sparsifier::Sparsifier(double alpha) : alpha_(alpha) {
+Sparsifier::Sparsifier(double alpha, std::size_t num_threads)
+    : alpha_(alpha), num_threads_(num_threads) {
   if (alpha <= 0.0) throw std::invalid_argument("sparsifier: alpha must be > 0");
 }
 
@@ -78,10 +80,15 @@ std::vector<CsrGraph> Sparsifier::sparsify_partitions(
   }
   if (stats != nullptr) stats->assign(num_parts, SparsifyStats{});
 
-  std::vector<CsrGraph> out;
-  out.reserve(num_parts);
-  for (std::uint32_t part = 0; part < num_parts; ++part) {
+  // Each partition is independent work over a pre-split RNG stream, so the
+  // fan-out below never races and never reorders draws: slot `part` of the
+  // output is the same bytes whether computed here or on a pool thread.
+  std::vector<CsrGraph> out(num_parts);
+  auto process_part = [&](std::size_t part_index) {
+    const auto part = static_cast<std::uint32_t>(part_index);
     const util::Stopwatch watch;
+    const util::ThreadCpuStopwatch cpu_watch;
+    Rng part_rng = rng.split("part", part);
 
     // Partition subgraph G^i: every edge with at least one endpoint in part i
     // ("cross-partition edges are maintained in both partitions").
@@ -102,10 +109,18 @@ std::vector<CsrGraph> Sparsifier::sparsify_partitions(
     SparsifyStats part_stats;
     auto [edges, weights] =
         sparsify_edges(std::span<const Edge>(part_edges),
-                       [&degree](NodeId v) { return degree.at(v); }, rng, &part_stats);
-    out.emplace_back(graph.num_nodes(), std::move(edges), std::move(weights));
+                       [&degree](NodeId v) { return degree.at(v); }, part_rng, &part_stats);
+    out[part] = CsrGraph(graph.num_nodes(), std::move(edges), std::move(weights));
     part_stats.elapsed_seconds = watch.seconds();
+    part_stats.cpu_seconds = cpu_watch.seconds();
     if (stats != nullptr) (*stats)[part] = part_stats;
+  };
+
+  if (num_threads_ != 1 && num_parts > 1) {
+    util::ThreadPool pool(num_threads_);
+    pool.parallel_for(0, num_parts, process_part);
+  } else {
+    for (std::uint32_t part = 0; part < num_parts; ++part) process_part(part);
   }
   return out;
 }
@@ -123,11 +138,15 @@ double UniformSparsifier::edge_importance(const Edge& edge,
 }
 
 std::unique_ptr<Sparsifier> make_sparsifier(SparsifierKind kind, double alpha) {
+  return make_sparsifier(kind, SparsifyConfig{alpha, 1});
+}
+
+std::unique_ptr<Sparsifier> make_sparsifier(SparsifierKind kind, const SparsifyConfig& config) {
   switch (kind) {
     case SparsifierKind::kEffectiveResistance:
-      return std::make_unique<EffectiveResistanceSparsifier>(alpha);
+      return std::make_unique<EffectiveResistanceSparsifier>(config.alpha, config.num_threads);
     case SparsifierKind::kUniform:
-      return std::make_unique<UniformSparsifier>(alpha);
+      return std::make_unique<UniformSparsifier>(config.alpha, config.num_threads);
   }
   throw std::invalid_argument("unknown sparsifier kind");
 }

@@ -12,6 +12,7 @@
 // importance actually buys.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <span>
@@ -28,16 +29,29 @@ struct SparsifyStats {
   graph::EdgeId sampled_draws = 0;   // L
   graph::EdgeId kept_edges = 0;      // distinct edges in the output
   double removal_ratio = 0.0;        // 1 - kept/original
-  double elapsed_seconds = 0.0;
+  double elapsed_seconds = 0.0;      // wall time of this partition's processing
+  double cpu_seconds = 0.0;          // thread-CPU time of the same work
+};
+
+/// Knobs shared by every sparsifier implementation.
+struct SparsifyConfig {
+  /// Number of draws L = ceil(alpha * |E|).
+  double alpha = 0.15;
+  /// ThreadPool width for `sparsify_partitions`: 1 = serial on the calling
+  /// thread (default), 0 = hardware concurrency, N = N pool threads. Output
+  /// is bit-identical at every setting (per-partition pre-split RNG).
+  std::size_t num_threads = 1;
 };
 
 class Sparsifier {
  public:
-  /// `alpha` sets the number of draws L = ceil(alpha * |E|).
-  explicit Sparsifier(double alpha);
+  /// `alpha` sets the number of draws L = ceil(alpha * |E|); `num_threads`
+  /// sizes the pool `sparsify_partitions` fans out on (see SparsifyConfig).
+  explicit Sparsifier(double alpha, std::size_t num_threads = 1);
   virtual ~Sparsifier() = default;
 
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] std::size_t num_threads() const noexcept { return num_threads_; }
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Returns the sparsified, weighted graph over the same node set.
@@ -50,6 +64,11 @@ class Sparsifier {
   /// all edges with at least one endpoint assigned to part i (cross-
   /// partition edges are kept in both parts, matching Algorithm 1 line 3).
   /// Returns one weighted graph per part, all in the *global* id space.
+  ///
+  /// Partitions fan out on a ThreadPool when `num_threads != 1`. Each
+  /// partition draws from its own pre-split stream `rng.split("part", p)`
+  /// (the parent stream is NOT advanced), so the output is bit-identical
+  /// for every thread count, including the serial path.
   [[nodiscard]] std::vector<graph::CsrGraph> sparsify_partitions(
       const graph::CsrGraph& graph, const std::vector<std::uint32_t>& assignment,
       std::uint32_t num_parts, util::Rng& rng,
@@ -68,12 +87,14 @@ class Sparsifier {
       SparsifyStats* stats) const;
 
   double alpha_;
+  std::size_t num_threads_;
 };
 
 /// Effective-resistance importance (Theorem 2): 1/du + 1/dv.
 class EffectiveResistanceSparsifier final : public Sparsifier {
  public:
-  explicit EffectiveResistanceSparsifier(double alpha = 0.15) : Sparsifier(alpha) {}
+  explicit EffectiveResistanceSparsifier(double alpha = 0.15, std::size_t num_threads = 1)
+      : Sparsifier(alpha, num_threads) {}
   [[nodiscard]] std::string name() const override { return "effective_resistance"; }
 
  protected:
@@ -85,7 +106,8 @@ class EffectiveResistanceSparsifier final : public Sparsifier {
 /// Uniform importance — the ablation baseline.
 class UniformSparsifier final : public Sparsifier {
  public:
-  explicit UniformSparsifier(double alpha = 0.15) : Sparsifier(alpha) {}
+  explicit UniformSparsifier(double alpha = 0.15, std::size_t num_threads = 1)
+      : Sparsifier(alpha, num_threads) {}
   [[nodiscard]] std::string name() const override { return "uniform"; }
 
  protected:
@@ -97,5 +119,7 @@ class UniformSparsifier final : public Sparsifier {
 enum class SparsifierKind { kEffectiveResistance, kUniform };
 
 [[nodiscard]] std::unique_ptr<Sparsifier> make_sparsifier(SparsifierKind kind, double alpha);
+[[nodiscard]] std::unique_ptr<Sparsifier> make_sparsifier(SparsifierKind kind,
+                                                          const SparsifyConfig& config);
 
 }  // namespace splpg::sparsify

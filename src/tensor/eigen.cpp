@@ -4,7 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <utility>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace splpg::tensor {
 
@@ -84,7 +87,7 @@ EigenDecomposition symmetric_eigen(const Matrix& a, double tolerance, int max_sw
   return out;
 }
 
-Matrix symmetric_pseudo_inverse(const Matrix& a, double rank_tolerance) {
+Matrix symmetric_pseudo_inverse(const Matrix& a, double rank_tolerance, util::ThreadPool* pool) {
   const auto decomposition = symmetric_eigen(a);
   const std::size_t n = a.rows();
   double max_abs = 0.0;
@@ -93,19 +96,30 @@ Matrix symmetric_pseudo_inverse(const Matrix& a, double rank_tolerance) {
   }
   const double cutoff = rank_tolerance * std::max(max_abs, 1e-300);
 
-  // A+ = V diag(1/lambda restricted to |lambda| > cutoff) V^T.
-  Matrix out(n, n);
+  std::vector<std::pair<std::size_t, double>> kept;  // (k, 1/lambda_k), k ascending
+  kept.reserve(n);
   for (std::size_t k = 0; k < n; ++k) {
     const double lambda = decomposition.eigenvalues[k];
-    if (std::abs(lambda) <= cutoff) continue;
-    const double inv = 1.0 / lambda;
-    for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(lambda) > cutoff) kept.emplace_back(k, 1.0 / lambda);
+  }
+
+  // A+ = V diag(1/lambda restricted to |lambda| > cutoff) V^T. Row-blocked:
+  // each output row i accumulates over k in ascending order regardless of
+  // which thread owns it, so pooled and serial fills are bit-identical.
+  Matrix out(n, n);
+  auto fill_row = [&](std::size_t i) {
+    for (const auto& [k, inv] : kept) {
       const double vik = decomposition.eigenvectors.at(i, k);
       if (vik == 0.0) continue;
       for (std::size_t j = 0; j < n; ++j) {
         out.at(i, j) += static_cast<float>(inv * vik * decomposition.eigenvectors.at(j, k));
       }
     }
+  };
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for(0, n, fill_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fill_row(i);
   }
   return out;
 }

@@ -149,6 +149,28 @@ TEST(PerSourceSampler, TooFewCandidatesThrows) {
                std::invalid_argument);
 }
 
+TEST(PerSourceSampler, NearCliqueFallsBackToValidCandidate) {
+  // K6 minus the edge (0, 5): from source 0 the only valid negative is 5.
+  // With max_tries = 1, rejection sampling almost always exhausts on a
+  // neighbor (or 0 itself); the fallback scan must still find 5 rather than
+  // hand back a rejected draw as a "negative".
+  GraphBuilder builder(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      if (u == 0 && v == 5) continue;
+      builder.add_edge(u, v);
+    }
+  }
+  const CsrGraph graph = builder.build();
+  std::vector<NodeId> candidates{0, 1, 2, 3, 4, 5};
+  const PerSourceNegativeSampler sampler(
+      candidates, [&graph](NodeId u, NodeId v) { return graph.has_edge(u, v); });
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    EXPECT_EQ(sampler.sample_destination(0, rng, 1), 5U);
+  }
+}
+
 TEST(BatchIterator, CoversAllEdgesOncePerEpoch) {
   const CsrGraph graph = test_graph(100, 400);
   const std::vector<Edge> edges(graph.edges().begin(), graph.edges().end());

@@ -9,6 +9,7 @@
 #include "data/generators.hpp"
 #include "sparsify/effective_resistance.hpp"
 #include "sparsify/sparsifier.hpp"
+#include "util/thread_pool.hpp"
 
 namespace splpg::sparsify {
 namespace {
@@ -277,6 +278,125 @@ TEST(Sparsifier, EmptyGraphYieldsEmptyOutput) {
   const auto sparse = EffectiveResistanceSparsifier(0.15).sparsify(graph, rng);
   EXPECT_EQ(sparse.num_nodes(), 10U);
   EXPECT_EQ(sparse.num_edges(), 0U);
+}
+
+
+// ---- ThreadPool parallelism (bit-exact determinism contract) ----
+
+TEST(Sparsifier, ParallelPartitionsBitIdenticalToSerial) {
+  // 8 partitions, serial (1 thread) vs pooled (4 threads), same rng seed:
+  // per-partition pre-split rng streams make the outputs the same bytes.
+  data::SbmParams params;
+  params.num_nodes = 240;
+  params.num_edges = 1900;
+  params.num_communities = 8;
+  Rng rng(31);
+  const CsrGraph graph = data::generate_sbm(params, rng);
+  std::vector<std::uint32_t> assignment(params.num_nodes);
+  for (NodeId v = 0; v < params.num_nodes; ++v) assignment[v] = v % 8;
+
+  Rng serial_rng(33);
+  Rng pooled_rng(33);
+  std::vector<SparsifyStats> serial_stats;
+  std::vector<SparsifyStats> pooled_stats;
+  const auto serial = EffectiveResistanceSparsifier(0.3, 1).sparsify_partitions(
+      graph, assignment, 8, serial_rng, &serial_stats);
+  const auto pooled = EffectiveResistanceSparsifier(0.3, 4).sparsify_partitions(
+      graph, assignment, 8, pooled_rng, &pooled_stats);
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t part = 0; part < serial.size(); ++part) {
+    ASSERT_EQ(serial[part].num_edges(), pooled[part].num_edges()) << "part " << part;
+    for (std::size_t e = 0; e < serial[part].num_edges(); ++e) {
+      EXPECT_EQ(serial[part].edges()[e], pooled[part].edges()[e]);
+      EXPECT_EQ(serial[part].edge_weights()[e], pooled[part].edge_weights()[e]);  // bit-exact
+    }
+    EXPECT_EQ(serial_stats[part].original_edges, pooled_stats[part].original_edges);
+    EXPECT_EQ(serial_stats[part].sampled_draws, pooled_stats[part].sampled_draws);
+    EXPECT_EQ(serial_stats[part].kept_edges, pooled_stats[part].kept_edges);
+    EXPECT_GT(pooled_stats[part].cpu_seconds, 0.0);
+  }
+}
+
+TEST(Sparsifier, ZeroThreadsMeansHardwareConcurrency) {
+  // num_threads = 0 resolves to hardware concurrency inside the pool; the
+  // result must still match the serial bytes.
+  data::SbmParams params;
+  params.num_nodes = 120;
+  params.num_edges = 700;
+  Rng rng(35);
+  const CsrGraph graph = data::generate_sbm(params, rng);
+  std::vector<std::uint32_t> assignment(params.num_nodes);
+  for (NodeId v = 0; v < params.num_nodes; ++v) assignment[v] = v % 4;
+  Rng serial_rng(36);
+  Rng pooled_rng(36);
+  const auto serial =
+      UniformSparsifier(0.4, 1).sparsify_partitions(graph, assignment, 4, serial_rng, nullptr);
+  const auto pooled =
+      UniformSparsifier(0.4, 0).sparsify_partitions(graph, assignment, 4, pooled_rng, nullptr);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t part = 0; part < serial.size(); ++part) {
+    ASSERT_EQ(serial[part].num_edges(), pooled[part].num_edges());
+    for (std::size_t e = 0; e < serial[part].num_edges(); ++e) {
+      EXPECT_EQ(serial[part].edges()[e], pooled[part].edges()[e]);
+      EXPECT_EQ(serial[part].edge_weights()[e], pooled[part].edge_weights()[e]);
+    }
+  }
+}
+
+TEST(EffectiveResistance, PooledKernelsMatchSerialBitwise) {
+  data::SbmParams params;
+  params.num_nodes = 80;
+  params.num_edges = 320;
+  Rng rng(37);
+  const CsrGraph graph = data::generate_sbm(params, rng);
+  util::ThreadPool pool(4);
+
+  const auto lap_serial = laplacian(graph);
+  const auto lap_pooled = laplacian(graph, &pool);
+  const auto norm_serial = normalized_laplacian(graph);
+  const auto norm_pooled = normalized_laplacian(graph, &pool);
+  for (NodeId i = 0; i < graph.num_nodes(); ++i) {
+    for (NodeId j = 0; j < graph.num_nodes(); ++j) {
+      EXPECT_EQ(lap_serial.at(i, j), lap_pooled.at(i, j));
+      EXPECT_EQ(norm_serial.at(i, j), norm_pooled.at(i, j));
+    }
+  }
+
+  const auto er_serial = exact_effective_resistance(graph);
+  const auto er_pooled = exact_effective_resistance(graph, &pool);
+  ASSERT_EQ(er_serial.size(), er_pooled.size());
+  for (std::size_t e = 0; e < er_serial.size(); ++e) {
+    EXPECT_EQ(er_serial[e], er_pooled[e]);
+  }
+  EXPECT_EQ(normalized_laplacian_gamma(graph), normalized_laplacian_gamma(graph, &pool));
+}
+
+TEST(EffectiveResistance, ApproxHandlesIsolatedNodes) {
+  // Nodes 3 and 4 are isolated; the degree proxy must stay finite and the
+  // partitioned sparsifier must accept a partition that holds only isolated
+  // nodes (its induced subgraph is empty).
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  const CsrGraph graph = builder.build();
+
+  const auto proxy = approx_effective_resistance(graph);
+  ASSERT_EQ(proxy.size(), graph.num_edges());
+  for (const double p : proxy) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GT(p, 0.0);
+  }
+
+  const std::vector<std::uint32_t> assignment = {0, 0, 0, 1, 1};
+  Rng rng(39);
+  std::vector<SparsifyStats> stats;
+  const auto parts = EffectiveResistanceSparsifier(0.5).sparsify_partitions(
+      graph, assignment, 2, rng, &stats);
+  ASSERT_EQ(parts.size(), 2U);
+  EXPECT_GT(parts[0].num_edges(), 0U);
+  EXPECT_EQ(parts[1].num_edges(), 0U);  // isolated-node partition: empty, no crash
 }
 
 }  // namespace

@@ -337,5 +337,104 @@ TEST_P(PartitionCountTest, SplpgRunsAtEveryPaperPartitionCount) {
 INSTANTIATE_TEST_SUITE_P(PaperPartitionCounts, PartitionCountTest,
                          ::testing::Values(2U, 4U, 8U, 16U));
 
+// ---- regression: per-epoch comm normalization under early stopping ----
+
+TEST(Trainer, EarlyStopNormalizesCommByEpochsRun) {
+  // lr = 0 freezes the model, so validation Hits@K never improves after the
+  // first evaluation and patience = 1 stops training well before epoch 6.
+  auto config = base_config(Method::kSplpg, 6);
+  config.learning_rate = 0.0F;
+  config.eval_every = 1;
+  config.patience = 1;
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  ASSERT_LT(result.history.size(), 6U);
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_GT(result.comm.total_bytes(), 0U);
+  // Normalized by epochs actually run, not the configured count.
+  EXPECT_DOUBLE_EQ(
+      result.comm_gigabytes_per_epoch,
+      result.comm.total_gigabytes() / static_cast<double>(result.history.size()));
+}
+
+// ---- regression: returned model is the replica the final evaluation scored ----
+
+TEST(TrainerFaults, ReturnedModelMatchesReportedTestHits) {
+  // Worker 0 crashes at the start of the FINAL epoch. The final evaluation
+  // then scores the first surviving replica (worker 1) while worker 0 is
+  // restored from the stale epoch-2 checkpoint — returning replicas[0] would
+  // hand back a model whose metrics differ from the reported ones.
+  auto config = base_config(Method::kSplpg, 3);
+  config.checkpoint_every = 2;
+  config.faults.crashes = {{0, 3, 0}};
+  const TrainResult result = train_link_prediction(problem().split, problem().dataset.features,
+                                                   config);
+  EXPECT_EQ(result.fault.crashes, 1U);
+  ASSERT_NE(result.model, nullptr);
+
+  // Re-evaluate the returned model with the trainer's own evaluator setup:
+  // it must reproduce the reported test metrics exactly.
+  const Evaluator evaluator(problem().split, problem().dataset.features,
+                            result.model->default_fanouts(), config.eval_k);
+  const EvalResult eval = evaluator.evaluate(*result.model);
+  EXPECT_DOUBLE_EQ(eval.test_hits, result.test_hits);
+  EXPECT_DOUBLE_EQ(eval.test_auc, result.test_auc);
+  EXPECT_DOUBLE_EQ(eval.val_hits, result.best_val_hits);
+}
+
+// ---- ThreadPool knob: bit-identical results, metered preprocessing ----
+
+TEST(Trainer, ThreadPoolKnobDoesNotChangeResults) {
+  const auto serial_config = base_config(Method::kSplpg, 2);
+  auto pooled_config = serial_config;
+  pooled_config.num_threads = 4;
+  const TrainResult serial = train_link_prediction(problem().split, problem().dataset.features,
+                                                   serial_config);
+  const TrainResult pooled = train_link_prediction(problem().split, problem().dataset.features,
+                                                   pooled_config);
+  ASSERT_EQ(serial.history.size(), pooled.history.size());
+  for (std::size_t e = 0; e < serial.history.size(); ++e) {
+    EXPECT_DOUBLE_EQ(serial.history[e].mean_loss, pooled.history[e].mean_loss);
+    EXPECT_DOUBLE_EQ(serial.history[e].comm_gigabytes, pooled.history[e].comm_gigabytes);
+  }
+  EXPECT_DOUBLE_EQ(serial.test_hits, pooled.test_hits);
+  EXPECT_DOUBLE_EQ(serial.test_auc, pooled.test_auc);
+  EXPECT_EQ(serial.comm.total_bytes(), pooled.comm.total_bytes());
+  // Both meter preprocessing wall and CPU time.
+  EXPECT_GT(serial.sparsify_seconds, 0.0);
+  EXPECT_GT(pooled.sparsify_seconds, 0.0);
+  EXPECT_GT(serial.sparsify_cpu_seconds, 0.0);
+  EXPECT_GT(pooled.sparsify_cpu_seconds, 0.0);
+}
+
+TEST(Evaluator, ParallelScoringBitIdenticalToSerial) {
+  nn::ModelConfig model_config;
+  model_config.in_dim = problem().dataset.features.dim();
+  model_config.hidden_dim = 16;
+  model_config.num_layers = 2;
+  const nn::LinkPredictionModel model(model_config, 5);
+  const auto fanouts = model.default_fanouts();
+
+  // Small chunk size so several chunks are in flight on the pool.
+  const Evaluator serial(problem().split, problem().dataset.features, fanouts, 0, 64, 7, 1);
+  const Evaluator pooled(problem().split, problem().dataset.features, fanouts, 0, 64, 7, 4);
+
+  std::vector<sampling::NodePair> pairs(problem().split.val_neg.begin(),
+                                        problem().split.val_neg.end());
+  const auto serial_scores = serial.score_pairs(model, pairs);
+  const auto pooled_scores = pooled.score_pairs(model, pairs);
+  ASSERT_EQ(serial_scores.size(), pooled_scores.size());
+  for (std::size_t i = 0; i < serial_scores.size(); ++i) {
+    EXPECT_EQ(serial_scores[i], pooled_scores[i]) << "pair " << i;  // bit-exact
+  }
+
+  const EvalResult a = serial.evaluate(model);
+  const EvalResult b = pooled.evaluate(model);
+  EXPECT_DOUBLE_EQ(a.val_hits, b.val_hits);
+  EXPECT_DOUBLE_EQ(a.test_hits, b.test_hits);
+  EXPECT_DOUBLE_EQ(a.val_auc, b.val_auc);
+  EXPECT_DOUBLE_EQ(a.test_auc, b.test_auc);
+}
+
 }  // namespace
 }  // namespace splpg::core

@@ -13,6 +13,7 @@
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace splpg::util {
 namespace {
@@ -347,6 +348,14 @@ TEST(ThreadPool, ParallelForCoversRange) {
   std::vector<std::atomic<int>> hits(1000);
   pool.parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Timer, ThreadCpuStopwatchAdvancesUnderWork) {
+  const ThreadCpuStopwatch watch;
+  // Busy work the optimizer cannot elide: CPU time must accumulate.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2'000'000; ++i) sink = sink + std::sqrt(static_cast<double>(i));
+  EXPECT_GT(watch.seconds(), 0.0);
 }
 
 TEST(ThreadPool, ParallelForPropagatesException) {
