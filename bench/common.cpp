@@ -26,6 +26,12 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
   flags.define("datasets", defaults.datasets,
                "comma-separated dataset names, or 'all' for the full Table I list");
   flags.define("partitions", defaults.partitions, "comma-separated partition counts");
+  flags.define("dataset", "",
+               "load problems from this saved dataset directory (io::save_dataset "
+               "layout) instead of generating synthetic data");
+  flags.define("features", "buffered",
+               "feature-store backend when --dataset is set: 'buffered' or 'mmap' "
+               "(zero-copy; results are bit-identical)");
   if (!flags.parse(argc, argv)) return std::nullopt;
 
   Env env;
@@ -55,13 +61,33 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
   for (const auto p : flags.get_int_list("partitions")) {
     env.partitions.push_back(static_cast<std::uint32_t>(p));
   }
+  env.dataset_dir = flags.get_string("dataset");
+  const std::string backend = flags.get_string("features");
+  if (backend == "mmap") {
+    env.feature_backend = io::FeatureBackend::kMmap;
+  } else if (backend != "buffered") {
+    std::fprintf(stderr, "unknown --features backend '%s' (want buffered|mmap)\n",
+                 backend.c_str());
+    return std::nullopt;
+  }
+  if (!env.dataset_dir.empty()) {
+    // One on-disk dataset replaces the synthetic sweep: every bench section
+    // runs on it, keyed by its manifest name.
+    env.datasets = {io::load_dataset(env.dataset_dir).name};
+  }
   return env;
 }
 
 Problem make_problem(const std::string& name, const Env& env) {
   Problem problem;
-  problem.dataset = data::make_dataset(name, env.scale, env.seed);
-  util::Rng rng = util::Rng(env.seed).split("split/" + name);
+  if (!env.dataset_dir.empty()) {
+    io::DatasetLoadOptions options;
+    options.feature_backend = env.feature_backend;
+    problem.dataset = io::load_dataset(env.dataset_dir, options);
+  } else {
+    problem.dataset = data::make_dataset(name, env.scale, env.seed);
+  }
+  util::Rng rng = util::Rng(env.seed).split("split/" + problem.dataset.name);
   problem.split = sampling::split_edges(problem.dataset.graph, sampling::SplitOptions{}, rng);
   return problem;
 }

@@ -13,6 +13,7 @@
 
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
+#include "io/dataset_io.hpp"
 #include "sampling/edge_split.hpp"
 #include "util/flags.hpp"
 
@@ -29,6 +30,12 @@ struct Env {
   std::size_t threads = 1;  // master ThreadPool width (1 = serial, 0 = hardware)
   std::vector<std::string> datasets;
   std::vector<std::uint32_t> partitions;
+  /// Non-empty: load every problem from this saved dataset directory (see
+  /// io::load_dataset) instead of generating synthetic data; --datasets
+  /// names are ignored. Metrics are bit-identical to the in-memory dataset
+  /// the directory was saved from.
+  std::string dataset_dir;
+  io::FeatureBackend feature_backend = io::FeatureBackend::kBuffered;
 };
 
 struct EnvDefaults {

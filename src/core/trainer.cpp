@@ -189,22 +189,45 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
   dist::DistContext context(num_workers);
   for (std::uint32_t w = 0; w < num_workers; ++w) context.register_replica(w, replicas[w].get());
 
+  // ---- master: resume ----
+  // Restoring parameters AND optimizer moments into every replica makes the
+  // resumed run bit-identical to an uninterrupted one (per-epoch worker
+  // state is a pure function of (seed, worker, epoch)).
+  std::uint32_t start_epoch = 1;
+  if (!config.resume_from.empty()) {
+    std::uint32_t saved_epoch = 0;
+    for (std::uint32_t w = 0; w < num_workers; ++w) {
+      saved_epoch = nn::load_train_state_file(config.resume_from, *replicas[w], *optimizers[w]);
+    }
+    if (saved_epoch >= config.epochs) {
+      throw std::invalid_argument("train_link_prediction: resume_from checkpoint is at epoch " +
+                                  std::to_string(saved_epoch) + ", nothing left of the " +
+                                  std::to_string(config.epochs) + " configured epochs");
+    }
+    start_epoch = saved_epoch + 1;
+  }
+
   // ---- master: checkpointing ----
-  // The latest checkpoint is kept serialized in memory for crash recovery;
-  // on-disk copies are written when checkpoint_dir is set. Written only by
-  // the master (before spawning) and by barrier serial sections.
+  // The latest full train state (parameters + optimizer moments + epoch) is
+  // kept serialized in memory for crash recovery; on-disk copies are written
+  // when checkpoint_dir is set. Written only by the master (before spawning)
+  // and by barrier serial sections.
   std::string checkpoint_buffer;
-  auto write_checkpoint = [&](const nn::Module& module, std::uint32_t epoch) {
+  auto write_checkpoint = [&](std::uint32_t src, std::uint32_t epoch) {
     std::ostringstream out;
-    nn::save_parameters(out, module);
+    nn::save_train_state(out, *replicas[src], *optimizers[src], epoch);
     checkpoint_buffer = out.str();
     if (!config.checkpoint_dir.empty()) {
       std::filesystem::create_directories(config.checkpoint_dir);
       nn::save_parameters_file(
-          config.checkpoint_dir + "/model_epoch_" + std::to_string(epoch) + ".bin", module);
+          config.checkpoint_dir + "/model_epoch_" + std::to_string(epoch) + ".bin",
+          *replicas[src]);
+      nn::save_train_state_file(
+          config.checkpoint_dir + "/state_epoch_" + std::to_string(epoch) + ".bin",
+          *replicas[src], *optimizers[src], epoch);
     }
   };
-  if (config.checkpoint_every > 0) write_checkpoint(*replicas[0], 0);
+  if (config.checkpoint_every > 0) write_checkpoint(0, start_epoch - 1);
 
   // Shared per-epoch accumulators (written by workers, read in the barrier's
   // serial section while all other threads are blocked).
@@ -246,13 +269,16 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
     try {
       util::Rng worker_rng = util::Rng(config.seed).split("worker", w);
       sampling::BatchIterator batches(owned[w], config.batch_size);
-      util::Rng shuffle_rng = worker_rng.split("shuffle");
-      batches.reset(shuffle_rng);
 
-      std::uint32_t epoch = 1;
+      std::uint32_t epoch = start_epoch;
       while (epoch <= config.epochs) {
         const util::Stopwatch epoch_watch;
         util::Rng rng = worker_rng.split("epoch", epoch);
+        // Reshuffle per epoch from an epoch-indexed stream: all within-epoch
+        // randomness is a pure function of (seed, worker, epoch), which is
+        // what makes checkpoint resume (and crash recovery) bit-exact.
+        util::Rng shuffle_rng = worker_rng.split("shuffle", epoch);
+        batches.reset(shuffle_rng);
         epoch_loss[w] = 0.0;
         epoch_batches[w] = 0;
 
@@ -396,7 +422,7 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
 
           // Per-epoch checkpoint of the synchronized survivor state.
           if (config.checkpoint_every > 0 && epoch % config.checkpoint_every == 0) {
-            write_checkpoint(*replicas[src], epoch);
+            write_checkpoint(src, epoch);
           }
 
           // Recovery: restore crashed replicas from the latest checkpoint
@@ -408,16 +434,17 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
             for (std::uint32_t i = 0; i < num_workers; ++i) {
               if (!crash_pending[i].load(std::memory_order_acquire)) continue;
               crash_pending[i].store(false, std::memory_order_relaxed);
+              // A respawned worker gets a fresh optimizer, then the full
+              // checkpointed train state (parameters + Adam moments) is
+              // loaded into it — the respawn continues exactly where the
+              // checkpoint left off instead of re-warming moments from zero.
+              optimizers[i] = std::make_unique<nn::Adam>(*replicas[i], config.learning_rate);
               if (!checkpoint_buffer.empty()) {
                 std::istringstream in(checkpoint_buffer);
-                nn::load_parameters(in, *replicas[i]);
+                nn::load_train_state(in, *replicas[i], *optimizers[i]);
               } else {
                 nn::copy_parameters(*replicas[src], *replicas[i]);
               }
-              // A respawned worker restarts its optimizer (Adam moments are
-              // not checkpointed, matching the state_dict-of-the-model
-              // contract).
-              optimizers[i] = std::make_unique<nn::Adam>(*replicas[i], config.learning_rate);
               if (!final_epoch) {
                 context.rejoin(i);
                 resume_epoch[i] = epoch + 1;

@@ -61,13 +61,27 @@ struct TrainConfig {
   /// Retry/backoff policy every remote fetch flows through when faults are
   /// injected.
   dist::RetryPolicy retry;
-  /// Epochs between model checkpoints (kept in memory for crash recovery;
-  /// also written to `checkpoint_dir` when set). 0 disables checkpointing —
-  /// a crashed worker is then restored by copying a survivor's replica.
+  /// Epochs between checkpoints (kept in memory for crash recovery; also
+  /// written to `checkpoint_dir` when set). A checkpoint carries the full
+  /// training state — model parameters AND optimizer moments — so a
+  /// recovered or resumed worker continues exactly where the checkpoint
+  /// left off. 0 disables checkpointing — a crashed worker is then restored
+  /// by copying a survivor's replica (with fresh moments).
   std::uint32_t checkpoint_every = 1;
-  /// Optional directory for on-disk checkpoints (`model_epoch_<e>.bin`,
-  /// written via nn::save_parameters_file). Empty = in-memory only.
+  /// Optional directory for on-disk checkpoints. Each checkpointed epoch
+  /// writes `model_epoch_<e>.bin` (parameters only, nn::save_parameters_file
+  /// format — the servable artifact) and `state_epoch_<e>.bin` (full train
+  /// state, nn::save_train_state_file format — the resumable artifact).
+  /// Empty = in-memory only.
   std::string checkpoint_dir;
+  /// Optional path to a `state_epoch_<e>.bin` file: training resumes from
+  /// epoch e + 1 with every replica's parameters and optimizer moments
+  /// restored from it. With replica-identical optimizer state (gradient
+  /// averaging, or a single worker) the resumed run is bit-identical to one
+  /// that never stopped; under model averaging per-worker moments differ and
+  /// resume restores the checkpointed worker's moments everywhere. Empty =
+  /// start from scratch.
+  std::string resume_from;
 
   /// Master-side ThreadPool width for the preprocessing and evaluation hot
   /// paths (partition sparsification, evaluation batch scoring). 1 = serial

@@ -4,9 +4,15 @@
 // move feature rows around without depending on the autograd engine. A
 // feature row is `dim` floats; `feature_bytes()` is what dist::CommMeter
 // charges for shipping one node's features.
+//
+// A store owns its rows by default. It can instead *view* externally owned
+// memory (io::open_feature_store maps a feature file and hands the mapping in
+// as `keepalive`), in which case reads are zero-copy and mutation throws —
+// every consumer that only reads rows works identically on both backings.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -30,18 +36,39 @@ class FeatureStore {
     }
   }
 
+  /// Zero-copy view over externally owned row-major data (e.g. an mmap'ed
+  /// feature file). `keepalive` owns the memory; the store shares it so
+  /// copies of the store keep the mapping alive. `view` must hold
+  /// `num_nodes * dim` floats for the lifetime of `keepalive`.
+  FeatureStore(NodeId num_nodes, std::uint32_t dim, const float* view,
+               std::shared_ptr<const void> keepalive)
+      : num_nodes_(num_nodes), dim_(dim), view_(view), keepalive_(std::move(keepalive)) {
+    if (size() > 0 && view_ == nullptr) {
+      throw std::invalid_argument("FeatureStore: null view");
+    }
+  }
+
   [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
   [[nodiscard]] std::uint32_t dim() const noexcept { return dim_; }
-  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(num_nodes_) * dim_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// True when the store reads from externally owned (e.g. mmap'ed) memory.
+  [[nodiscard]] bool is_view() const noexcept { return view_ != nullptr; }
 
   [[nodiscard]] std::span<const float> row(NodeId v) const noexcept {
-    return {data_.data() + static_cast<std::size_t>(v) * dim_, dim_};
+    return {raw() + static_cast<std::size_t>(v) * dim_, dim_};
   }
-  [[nodiscard]] std::span<float> row(NodeId v) noexcept {
+  [[nodiscard]] std::span<float> row(NodeId v) {
+    if (is_view()) {
+      throw std::logic_error("FeatureStore: mutable access to a read-only view");
+    }
     return {data_.data() + static_cast<std::size_t>(v) * dim_, dim_};
   }
 
-  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return {raw(), size()}; }
 
   /// Bytes to transmit one node's feature row.
   [[nodiscard]] std::uint64_t feature_bytes() const noexcept {
@@ -49,13 +76,20 @@ class FeatureStore {
   }
 
   /// Gathers rows for `nodes` into a new contiguous store (used when
-  /// materializing a partition's local feature matrix X^i).
+  /// materializing a partition's local feature matrix X^i). The result always
+  /// owns its rows, regardless of this store's backing.
   [[nodiscard]] FeatureStore gather(std::span<const NodeId> nodes) const;
 
  private:
+  [[nodiscard]] const float* raw() const noexcept {
+    return view_ != nullptr ? view_ : data_.data();
+  }
+
   NodeId num_nodes_ = 0;
   std::uint32_t dim_ = 0;
-  std::vector<float> data_;
+  std::vector<float> data_;                  // owned storage (empty in view mode)
+  const float* view_ = nullptr;              // external storage (view mode only)
+  std::shared_ptr<const void> keepalive_;    // owner of `view_`
 };
 
 }  // namespace splpg::graph

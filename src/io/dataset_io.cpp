@@ -1,0 +1,148 @@
+#include "io/dataset_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "io/edge_list.hpp"
+
+namespace splpg::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMetaFile = "meta.txt";
+constexpr const char* kEdgesText = "edges.txt";
+constexpr const char* kEdgesBinary = "edges.bin";
+constexpr const char* kFeaturesFile = "features.bin";
+constexpr const char* kLabelsFile = "labels.bin";
+
+[[noreturn]] void fail(const std::string& message) { throw FormatError(message); }
+
+std::map<std::string, std::string> read_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("dataset: cannot open manifest " + path);
+  std::map<std::string, std::string> manifest;
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      fail("dataset manifest line " + std::to_string(line_number) +
+           ": expected key=value, got '" + line + "'");
+    }
+    manifest[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return manifest;
+}
+
+const std::string& manifest_get(const std::map<std::string, std::string>& manifest,
+                                const std::string& key) {
+  const auto it = manifest.find(key);
+  if (it == manifest.end()) fail("dataset manifest: missing key '" + key + "'");
+  return it->second;
+}
+
+std::uint64_t manifest_get_u64(const std::map<std::string, std::string>& manifest,
+                               const std::string& key) {
+  const std::string& text = manifest_get(manifest, key);
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    fail("dataset manifest: key '" + key + "' is not a number: '" + text + "'");
+  }
+}
+
+}  // namespace
+
+void save_dataset(const std::string& dir, const data::Dataset& dataset,
+                  EdgeFormat edge_format) {
+  fs::create_directories(dir);
+  const fs::path root(dir);
+
+  if (edge_format == EdgeFormat::kText) {
+    write_edge_list_text_file((root / kEdgesText).string(), dataset.graph);
+    fs::remove(root / kEdgesBinary);
+  } else {
+    write_edge_list_binary_file((root / kEdgesBinary).string(), dataset.graph);
+    fs::remove(root / kEdgesText);
+  }
+  write_features_file((root / kFeaturesFile).string(), dataset.features);
+  if (!dataset.communities.empty()) {
+    write_labels_file((root / kLabelsFile).string(), dataset.communities);
+  } else {
+    fs::remove(root / kLabelsFile);
+  }
+
+  std::ofstream meta((root / kMetaFile).string());
+  if (!meta) fail("dataset: cannot open " + (root / kMetaFile).string() + " for writing");
+  meta << "# SpLPG dataset manifest\n"
+       << "name=" << dataset.name << "\n"
+       << "batch_size=" << dataset.batch_size << "\n"
+       << "num_nodes=" << dataset.graph.num_nodes() << "\n"
+       << "num_edges=" << dataset.graph.num_edges() << "\n"
+       << "feature_dim=" << dataset.features.dim() << "\n"
+       << "edge_format=" << (edge_format == EdgeFormat::kText ? "text" : "binary") << "\n"
+       << "has_labels=" << (dataset.communities.empty() ? 0 : 1) << "\n";
+  if (!meta) fail("dataset: manifest write failed");
+}
+
+data::Dataset load_dataset(const std::string& dir, const DatasetLoadOptions& options) {
+  const fs::path root(dir);
+  const auto manifest = read_manifest((root / kMetaFile).string());
+
+  const auto num_nodes = manifest_get_u64(manifest, "num_nodes");
+  const auto num_edges = manifest_get_u64(manifest, "num_edges");
+  if (num_nodes > graph::kInvalidNode) {
+    fail("dataset manifest: num_nodes " + std::to_string(num_nodes) + " out of range");
+  }
+
+  data::Dataset dataset;
+  dataset.name = manifest_get(manifest, "name");
+  dataset.batch_size = static_cast<std::uint32_t>(manifest_get_u64(manifest, "batch_size"));
+
+  EdgeListOptions edge_options;
+  edge_options.expected_nodes = static_cast<graph::NodeId>(num_nodes);
+  const std::string& edge_format = manifest_get(manifest, "edge_format");
+  if (edge_format == "text") {
+    dataset.graph = read_edge_list_text_file((root / kEdgesText).string(), edge_options);
+  } else if (edge_format == "binary") {
+    dataset.graph = read_edge_list_binary_file((root / kEdgesBinary).string(), edge_options);
+  } else {
+    fail("dataset manifest: unknown edge_format '" + edge_format + "'");
+  }
+  if (dataset.graph.num_edges() != num_edges) {
+    fail("dataset: manifest declares " + std::to_string(num_edges) + " edges but the edge list holds " +
+         std::to_string(dataset.graph.num_edges()));
+  }
+
+  dataset.features =
+      read_features_file((root / kFeaturesFile).string(), options.feature_backend);
+  if (dataset.features.num_nodes() != num_nodes) {
+    fail("dataset: feature file holds " + std::to_string(dataset.features.num_nodes()) +
+         " rows for " + std::to_string(num_nodes) + " nodes");
+  }
+  if (const auto dim = manifest_get_u64(manifest, "feature_dim");
+      dataset.features.dim() != dim) {
+    fail("dataset: feature file dim " + std::to_string(dataset.features.dim()) +
+         " does not match manifest feature_dim " + std::to_string(dim));
+  }
+
+  if (manifest_get_u64(manifest, "has_labels") != 0) {
+    dataset.communities = read_labels_file((root / kLabelsFile).string());
+    if (dataset.communities.size() != num_nodes) {
+      fail("dataset: label file holds " + std::to_string(dataset.communities.size()) +
+           " labels for " + std::to_string(num_nodes) + " nodes");
+    }
+  }
+  return dataset;
+}
+
+}  // namespace splpg::io

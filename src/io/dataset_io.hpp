@@ -1,0 +1,41 @@
+// Whole-dataset persistence: a data::Dataset round-trips through a directory.
+//
+// Layout (one dataset per directory):
+//   meta.txt      key=value manifest (name, batch_size, counts, edge format)
+//   edges.bin     canonical edge list, binary SPGE format   (kBinary)
+//   edges.txt     OGB-style "u v" text edge list            (kText)
+//   features.bin  node features, SPFT format (mmap-able)
+//   labels.bin    optional per-node community labels, SPLB format
+//
+// load_dataset validates the manifest against every file it loads (node
+// counts, feature dims, edge counts must agree) so a mismatched or hand-
+// edited directory fails loudly instead of training on garbage. Loaded
+// datasets are bit-identical to what save_dataset was given — training on a
+// round-tripped dataset reproduces the in-memory run exactly.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "io/feature_file.hpp"
+
+namespace splpg::io {
+
+enum class EdgeFormat { kText, kBinary };
+
+struct DatasetLoadOptions {
+  /// How feature rows are served: buffered heap copy or zero-copy mmap view.
+  FeatureBackend feature_backend = FeatureBackend::kBuffered;
+};
+
+/// Writes `dataset` into `dir` (created if missing), overwriting any previous
+/// contents of the five well-known files.
+void save_dataset(const std::string& dir, const data::Dataset& dataset,
+                  EdgeFormat edge_format = EdgeFormat::kBinary);
+
+/// Loads a dataset directory written by save_dataset (edge format is taken
+/// from the manifest). Throws FormatError on any inconsistency.
+[[nodiscard]] data::Dataset load_dataset(const std::string& dir,
+                                         const DatasetLoadOptions& options = {});
+
+}  // namespace splpg::io

@@ -1,0 +1,298 @@
+#include "io/edge_list.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace splpg::io {
+
+using graph::CsrGraph;
+using graph::Edge;
+using graph::EdgeId;
+using graph::GraphBuilder;
+using graph::NodeId;
+
+namespace {
+
+constexpr std::uint32_t kEdgeMagic = 0x53504745;  // "SPGE"
+constexpr std::uint32_t kEdgeVersion = 1;
+constexpr std::uint32_t kFlagWeighted = 1U << 0;
+
+[[noreturn]] void fail(const std::string& message) { throw FormatError(message); }
+
+/// Parsed but not yet validated text edge, with its source line for errors.
+struct RawEdge {
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  float weight = 1.0F;
+  std::uint64_t line = 0;
+};
+
+const char* skip_spaces(const char* it, const char* end) {
+  while (it != end && (*it == ' ' || *it == '\t' || *it == '\r')) ++it;
+  return it;
+}
+
+std::uint64_t parse_id(const char*& it, const char* end, std::uint64_t line,
+                       const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(it, end, value);
+  if (ec != std::errc{} || ptr == it) {
+    fail("edge list line " + std::to_string(line) + ": expected a numeric " + what +
+         ", got '" + std::string(it, end) + "'");
+  }
+  it = ptr;
+  return value;
+}
+
+/// Canonicalizes, range-checks, and (strict) rejects self-loops/duplicates,
+/// then builds the graph. Shared by the text and binary readers.
+CsrGraph build_checked(NodeId num_nodes, std::vector<RawEdge> raw, bool weighted,
+                       const EdgeListOptions& options, const char* format) {
+  const bool bounded = options.expected_nodes > 0 || num_nodes > 0;
+  for (const auto& edge : raw) {
+    const std::uint64_t limit =
+        bounded ? num_nodes : static_cast<std::uint64_t>(graph::kInvalidNode);
+    if (edge.u >= limit || edge.v >= limit) {
+      fail(std::string(format) + " line " + std::to_string(edge.line) + ": node id " +
+           std::to_string(std::max(edge.u, edge.v)) + " out of range [0, " +
+           std::to_string(limit) + ")");
+    }
+    if (options.strict && edge.u == edge.v) {
+      fail(std::string(format) + " line " + std::to_string(edge.line) + ": self-loop at node " +
+           std::to_string(edge.u));
+    }
+  }
+  if (options.strict) {
+    std::vector<std::pair<Edge, std::uint64_t>> canonical;
+    canonical.reserve(raw.size());
+    for (const auto& edge : raw) {
+      const auto u = static_cast<NodeId>(std::min(edge.u, edge.v));
+      const auto v = static_cast<NodeId>(std::max(edge.u, edge.v));
+      canonical.emplace_back(Edge{u, v}, edge.line);
+    }
+    std::sort(canonical.begin(), canonical.end());
+    for (std::size_t i = 1; i < canonical.size(); ++i) {
+      if (canonical[i].first == canonical[i - 1].first) {
+        fail(std::string(format) + " line " + std::to_string(canonical[i].second) +
+             ": duplicate edge (" + std::to_string(canonical[i].first.u) + ", " +
+             std::to_string(canonical[i].first.v) + ") first seen on line " +
+             std::to_string(canonical[i - 1].second));
+      }
+    }
+  }
+  GraphBuilder builder(num_nodes, weighted);
+  for (const auto& edge : raw) {
+    builder.add_edge(static_cast<NodeId>(edge.u), static_cast<NodeId>(edge.v), edge.weight);
+  }
+  return builder.build();
+}
+
+/// Bytes left in a seekable stream, or nullopt when the stream cannot tell —
+/// used to report truncation *before* trusting a header's element count.
+std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
+  const auto here = in.tellg();
+  if (here < 0) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  in.seekg(here);
+  if (end < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(end - here);
+}
+
+}  // namespace
+
+CsrGraph read_edge_list_text(std::istream& in, const EdgeListOptions& options) {
+  if (options.renumber && options.expected_nodes > 0) {
+    fail("edge list: renumber and expected_nodes are mutually exclusive");
+  }
+  std::vector<RawEdge> raw;
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  std::uint64_t max_id = 0;
+  bool weighted = false;
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const char* it = line.data();
+    const char* end = line.data() + line.size();
+    it = skip_spaces(it, end);
+    if (it == end || *it == '#') continue;
+
+    RawEdge edge;
+    edge.line = line_number;
+    edge.u = parse_id(it, end, line_number, "source id");
+    it = skip_spaces(it, end);
+    if (it == end) fail("edge list line " + std::to_string(line_number) + ": missing target id");
+    edge.v = parse_id(it, end, line_number, "target id");
+    it = skip_spaces(it, end);
+    if (it != end) {
+      // Optional third column: edge weight.
+      const auto [ptr, ec] = std::from_chars(it, end, edge.weight);
+      if (ec != std::errc{} || ptr == it) {
+        fail("edge list line " + std::to_string(line_number) + ": expected a numeric weight, got '" +
+             std::string(it, end) + "'");
+      }
+      it = skip_spaces(ptr, end);
+      if (it != end) {
+        fail("edge list line " + std::to_string(line_number) + ": trailing tokens '" +
+             std::string(it, end) + "'");
+      }
+      weighted = true;
+    }
+    if (options.renumber) {
+      for (std::uint64_t* id : {&edge.u, &edge.v}) {
+        const auto [entry, inserted] = remap.emplace(*id, static_cast<NodeId>(remap.size()));
+        (void)inserted;
+        *id = entry->second;
+      }
+    }
+    max_id = std::max({max_id, edge.u, edge.v});
+    raw.push_back(edge);
+  }
+  if (in.bad()) fail("edge list: read failed");
+
+  NodeId num_nodes = options.expected_nodes;
+  if (num_nodes == 0 && !raw.empty()) {
+    if (max_id >= graph::kInvalidNode) {
+      fail("edge list: node id " + std::to_string(max_id) + " exceeds the supported maximum " +
+           std::to_string(graph::kInvalidNode - 1));
+    }
+    num_nodes = static_cast<NodeId>(max_id) + 1;
+  }
+  return build_checked(num_nodes, std::move(raw), weighted, options, "edge list");
+}
+
+CsrGraph read_edge_list_text_file(const std::string& path, const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) fail("edge list: cannot open " + path);
+  return read_edge_list_text(in, options);
+}
+
+void write_edge_list_text(std::ostream& out, const CsrGraph& graph) {
+  out << "# nodes=" << graph.num_nodes() << " edges=" << graph.num_edges()
+      << (graph.is_weighted() ? " weighted=1" : "") << "\n";
+  char weight_text[32];
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const auto& [u, v] = graph.edges()[e];
+    out << u << " " << v;
+    if (graph.is_weighted()) {
+      // %.9g round-trips any float exactly through strtof/from_chars.
+      std::snprintf(weight_text, sizeof(weight_text), "%.9g",
+                    static_cast<double>(graph.edge_weights()[e]));
+      out << " " << weight_text;
+    }
+    out << "\n";
+  }
+  if (!out) fail("edge list: write failed");
+}
+
+void write_edge_list_text_file(const std::string& path, const CsrGraph& graph) {
+  std::ofstream out(path);
+  if (!out) fail("edge list: cannot open " + path + " for writing");
+  write_edge_list_text(out, graph);
+}
+
+CsrGraph read_edge_list_binary(std::istream& in, const EdgeListOptions& options) {
+  using util::read_pod;
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in) fail("binary edge list: truncated header (no magic)");
+  if (magic != kEdgeMagic) {
+    std::ostringstream hex;
+    hex << std::hex << magic;
+    fail("binary edge list: bad magic 0x" + hex.str() + " (not an SPGE file)");
+  }
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  try {
+    version = read_pod<std::uint32_t>(in);
+    flags = read_pod<std::uint32_t>(in);
+    num_nodes = read_pod<std::uint32_t>(in);
+    num_edges = read_pod<std::uint64_t>(in);
+  } catch (const std::runtime_error&) {
+    fail("binary edge list: truncated header");
+  }
+  if (version != kEdgeVersion) {
+    fail("binary edge list: unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kEdgeVersion) + ")");
+  }
+  if ((flags & ~kFlagWeighted) != 0) {
+    std::ostringstream hex;
+    hex << std::hex << flags;
+    fail("binary edge list: unknown flags 0x" + hex.str());
+  }
+  if (options.expected_nodes > 0 && num_nodes != options.expected_nodes) {
+    fail("binary edge list: header declares " + std::to_string(num_nodes) +
+         " nodes, expected " + std::to_string(options.expected_nodes));
+  }
+  const bool weighted = (flags & kFlagWeighted) != 0;
+  const std::uint64_t payload =
+      num_edges * (sizeof(NodeId) * 2 + (weighted ? sizeof(float) : 0));
+  if (const auto left = remaining_bytes(in); left.has_value() && *left < payload) {
+    fail("binary edge list: truncated — header declares " + std::to_string(num_edges) +
+         " edges (" + std::to_string(payload) + " bytes) but only " + std::to_string(*left) +
+         " bytes remain");
+  }
+
+  std::vector<RawEdge> raw(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    NodeId pair[2];
+    in.read(reinterpret_cast<char*>(pair), sizeof(pair));
+    if (!in) fail("binary edge list: truncated at edge " + std::to_string(e));
+    raw[e].u = pair[0];
+    raw[e].v = pair[1];
+    raw[e].line = e;  // "line" doubles as the edge index in error messages
+  }
+  if (weighted) {
+    for (std::uint64_t e = 0; e < num_edges; ++e) {
+      in.read(reinterpret_cast<char*>(&raw[e].weight), sizeof(float));
+      if (!in) fail("binary edge list: truncated weight array at edge " + std::to_string(e));
+    }
+  }
+  EdgeListOptions checked = options;
+  checked.expected_nodes = num_nodes;
+  return build_checked(num_nodes, std::move(raw), weighted, checked, "binary edge list");
+}
+
+CsrGraph read_edge_list_binary_file(const std::string& path, const EdgeListOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("binary edge list: cannot open " + path);
+  return read_edge_list_binary(in, options);
+}
+
+void write_edge_list_binary(std::ostream& out, const CsrGraph& graph) {
+  using util::write_pod;
+  write_pod(out, kEdgeMagic);
+  write_pod(out, kEdgeVersion);
+  write_pod<std::uint32_t>(out, graph.is_weighted() ? kFlagWeighted : 0);
+  write_pod<std::uint32_t>(out, graph.num_nodes());
+  write_pod<std::uint64_t>(out, graph.num_edges());
+  for (const auto& [u, v] : graph.edges()) {
+    const NodeId pair[2] = {u, v};
+    out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
+  }
+  if (graph.is_weighted()) {
+    out.write(reinterpret_cast<const char*>(graph.edge_weights().data()),
+              static_cast<std::streamsize>(graph.num_edges() * sizeof(float)));
+  }
+  if (!out) fail("binary edge list: write failed");
+}
+
+void write_edge_list_binary_file(const std::string& path, const CsrGraph& graph) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("binary edge list: cannot open " + path + " for writing");
+  write_edge_list_binary(out, graph);
+}
+
+}  // namespace splpg::io

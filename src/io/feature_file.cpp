@@ -1,0 +1,149 @@
+#include "io/feature_file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "io/edge_list.hpp"
+#include "io/mmap_file.hpp"
+#include "util/serialize.hpp"
+
+namespace splpg::io {
+
+namespace {
+
+constexpr std::uint32_t kFeatureMagic = 0x53504654;  // "SPFT"
+constexpr std::uint32_t kFeatureVersion = 1;
+constexpr std::size_t kFeatureHeaderBytes = 16;  // magic, version, nodes, dim
+
+constexpr std::uint32_t kLabelMagic = 0x53504C42;  // "SPLB"
+constexpr std::uint32_t kLabelVersion = 1;
+
+struct FeatureHeader {
+  std::uint32_t num_nodes = 0;
+  std::uint32_t dim = 0;
+};
+
+[[noreturn]] void fail(const std::string& message) { throw FormatError(message); }
+
+FeatureHeader read_feature_header(std::istream& in) {
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in) fail("feature file: truncated header (no magic)");
+  if (magic != kFeatureMagic) {
+    std::ostringstream hex;
+    hex << std::hex << magic;
+    fail("feature file: bad magic 0x" + hex.str() + " (not an SPFT file)");
+  }
+  std::uint32_t version = 0;
+  FeatureHeader header;
+  try {
+    version = util::read_pod<std::uint32_t>(in);
+    header.num_nodes = util::read_pod<std::uint32_t>(in);
+    header.dim = util::read_pod<std::uint32_t>(in);
+  } catch (const std::runtime_error&) {
+    fail("feature file: truncated header");
+  }
+  if (version != kFeatureVersion) {
+    fail("feature file: unsupported version " + std::to_string(version) + " (expected " +
+         std::to_string(kFeatureVersion) + ")");
+  }
+  return header;
+}
+
+}  // namespace
+
+std::string to_string(FeatureBackend backend) {
+  return backend == FeatureBackend::kMmap ? "mmap" : "buffered";
+}
+
+void write_features(std::ostream& out, const graph::FeatureStore& features) {
+  using util::write_pod;
+  write_pod(out, kFeatureMagic);
+  write_pod(out, kFeatureVersion);
+  write_pod<std::uint32_t>(out, features.num_nodes());
+  write_pod<std::uint32_t>(out, features.dim());
+  const auto data = features.data();
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!out) fail("feature file: write failed");
+}
+
+void write_features_file(const std::string& path, const graph::FeatureStore& features) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("feature file: cannot open " + path + " for writing");
+  write_features(out, features);
+}
+
+graph::FeatureStore read_features(std::istream& in) {
+  const FeatureHeader header = read_feature_header(in);
+  const std::size_t count = static_cast<std::size_t>(header.num_nodes) * header.dim;
+  std::vector<float> data(count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (static_cast<std::size_t>(in.gcount()) != count * sizeof(float)) {
+    fail("feature file: truncated — expected " + std::to_string(count * sizeof(float)) +
+         " payload bytes for " + std::to_string(header.num_nodes) + "x" +
+         std::to_string(header.dim) + " features");
+  }
+  return {header.num_nodes, header.dim, std::move(data)};
+}
+
+graph::FeatureStore read_features_file(const std::string& path, FeatureBackend backend) {
+  if (backend == FeatureBackend::kMmap) {
+    if (auto mapped = MappedFile::map(path); mapped.has_value()) {
+      // Validate the header against the actual mapping size, then point the
+      // store straight at the mapped payload (zero-copy). The shared_ptr
+      // keeps the mapping alive for as long as any copy of the store exists.
+      std::istringstream header_stream(
+          std::string(reinterpret_cast<const char*>(mapped->data()),
+                      std::min(mapped->size(), kFeatureHeaderBytes)));
+      const FeatureHeader header = read_feature_header(header_stream);
+      const std::size_t count = static_cast<std::size_t>(header.num_nodes) * header.dim;
+      if (mapped->size() < kFeatureHeaderBytes + count * sizeof(float)) {
+        fail("feature file: truncated — " + path + " holds " + std::to_string(mapped->size()) +
+             " bytes, header declares " + std::to_string(header.num_nodes) + "x" +
+             std::to_string(header.dim) + " features");
+      }
+      auto owner = std::make_shared<MappedFile>(std::move(*mapped));
+      const auto* rows = reinterpret_cast<const float*>(owner->data() + kFeatureHeaderBytes);
+      return {header.num_nodes, header.dim, rows, std::move(owner)};
+    }
+    // Mapping unavailable (platform or I/O): fall back to a buffered read so
+    // the backend choice never changes observable behavior.
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("feature file: cannot open " + path);
+  return read_features(in);
+}
+
+void write_labels_file(const std::string& path, const std::vector<std::uint32_t>& labels) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("label file: cannot open " + path + " for writing");
+  util::write_pod(out, kLabelMagic);
+  util::write_pod(out, kLabelVersion);
+  util::write_vector(out, labels);
+  if (!out) fail("label file: write failed");
+}
+
+std::vector<std::uint32_t> read_labels_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("label file: cannot open " + path);
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in) fail("label file: truncated header (no magic)");
+  if (magic != kLabelMagic) fail("label file: bad magic (not an SPLB file)");
+  try {
+    if (const auto version = util::read_pod<std::uint32_t>(in); version != kLabelVersion) {
+      fail("label file: unsupported version " + std::to_string(version));
+    }
+    return util::read_vector<std::uint32_t>(in);
+  } catch (const FormatError&) {
+    throw;
+  } catch (const std::runtime_error&) {
+    fail("label file: truncated");
+  }
+}
+
+}  // namespace splpg::io

@@ -1,0 +1,41 @@
+// Node-feature and label files.
+//
+// Feature file (magic "SPFT", version 1): a 16-byte header (magic, version,
+// node count, feature dim) followed by the row-major float32 matrix. The
+// payload starts at a fixed, float-aligned offset so the whole file can be
+// mmap'ed and served zero-copy through graph::FeatureStore's view backing.
+//
+// Label file (magic "SPLB", version 1): header (magic, version, count) then
+// one uint32 label per node — the generator's ground-truth communities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/features.hpp"
+
+namespace splpg::io {
+
+enum class FeatureBackend {
+  kBuffered,  // read the matrix into an owned vector
+  kMmap,      // map the file; rows are served zero-copy (falls back to
+              // buffered when mmap is unavailable)
+};
+
+[[nodiscard]] std::string to_string(FeatureBackend backend);
+
+void write_features(std::ostream& out, const graph::FeatureStore& features);
+void write_features_file(const std::string& path, const graph::FeatureStore& features);
+
+/// Loads a feature file. With kMmap the returned store is a zero-copy view
+/// whose keepalive owns the mapping; with kBuffered (or when mapping fails)
+/// it owns a heap copy. Both return bit-identical rows.
+[[nodiscard]] graph::FeatureStore read_features(std::istream& in);
+[[nodiscard]] graph::FeatureStore read_features_file(const std::string& path,
+                                                     FeatureBackend backend);
+
+void write_labels_file(const std::string& path, const std::vector<std::uint32_t>& labels);
+[[nodiscard]] std::vector<std::uint32_t> read_labels_file(const std::string& path);
+
+}  // namespace splpg::io

@@ -1,0 +1,59 @@
+#include "io/mmap_file.hpp"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPLPG_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SPLPG_HAS_MMAP 0
+#endif
+
+namespace splpg::io {
+
+bool MappedFile::supported() noexcept { return SPLPG_HAS_MMAP != 0; }
+
+std::optional<MappedFile> MappedFile::map(const std::string& path) {
+#if SPLPG_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapped == MAP_FAILED) return std::nullopt;
+  return MappedFile(static_cast<const std::byte*>(mapped), size);
+#else
+  (void)path;
+  return std::nullopt;
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    this->~MappedFile();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if SPLPG_HAS_MMAP
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace splpg::io

@@ -1,0 +1,40 @@
+// Read-only memory-mapped files.
+//
+// `MappedFile::map` returns nullopt whenever mapping is not possible (missing
+// file, empty file, platform without mmap) so callers can fall back to
+// buffered reads — the io feature loaders treat mmap strictly as an
+// optimization, never a requirement.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace splpg::io {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. nullopt on any failure (caller falls back).
+  [[nodiscard]] static std::optional<MappedFile> map(const std::string& path);
+
+  /// True when this platform can mmap at all (POSIX). When false, `map`
+  /// always returns nullopt.
+  [[nodiscard]] static bool supported() noexcept;
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  MappedFile(const std::byte* data, std::size_t size) : data_(data), size_(size) {}
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace splpg::io

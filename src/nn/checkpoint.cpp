@@ -8,7 +8,9 @@
 namespace splpg::nn {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x53504C4D;  // "SPLM"
+constexpr std::uint32_t kMagic = 0x53504C4D;       // "SPLM"
+constexpr std::uint32_t kStateMagic = 0x5350434B;  // "SPCK"
+constexpr std::uint32_t kStateVersion = 1;
 }
 
 void save_parameters(std::ostream& out, const Module& module) {
@@ -57,6 +59,46 @@ void load_parameters_file(const std::string& path, Module& module) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_parameters_file: cannot open " + path);
   load_parameters(in, module);
+}
+
+void save_train_state(std::ostream& out, const Module& module, const Optimizer& optimizer,
+                      std::uint32_t epoch) {
+  using util::write_pod;
+  write_pod(out, kStateMagic);
+  write_pod(out, kStateVersion);
+  write_pod(out, epoch);
+  save_parameters(out, module);
+  optimizer.save_state(out);
+  if (!out) throw std::runtime_error("save_train_state: write failed");
+}
+
+void save_train_state_file(const std::string& path, const Module& module,
+                           const Optimizer& optimizer, std::uint32_t epoch) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_train_state_file: cannot open " + path);
+  save_train_state(out, module, optimizer, epoch);
+}
+
+std::uint32_t load_train_state(std::istream& in, Module& module, Optimizer& optimizer) {
+  using util::read_pod;
+  if (read_pod<std::uint32_t>(in) != kStateMagic) {
+    throw std::runtime_error("load_train_state: bad magic (not an SPCK train state)");
+  }
+  if (const auto version = read_pod<std::uint32_t>(in); version != kStateVersion) {
+    throw std::runtime_error("load_train_state: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto epoch = read_pod<std::uint32_t>(in);
+  load_parameters(in, module);
+  optimizer.load_state(in);
+  return epoch;
+}
+
+std::uint32_t load_train_state_file(const std::string& path, Module& module,
+                                    Optimizer& optimizer) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_train_state_file: cannot open " + path);
+  return load_train_state(in, module, optimizer);
 }
 
 }  // namespace splpg::nn

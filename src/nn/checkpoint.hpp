@@ -1,14 +1,24 @@
-// Model checkpointing: (de)serialize a Module's parameter list.
+// Model checkpointing: (de)serialize a Module's parameter list, or the full
+// training state (parameters + optimizer moments + epoch counter).
 //
-// Format: magic, parameter count, then each parameter's shape + row-major
-// float data. Loading requires an identically constructed module (same
-// config), mirroring PyTorch's state_dict contract.
+// Parameter format ("SPLM"): magic, parameter count, then each parameter's
+// shape + row-major float data. Loading requires an identically constructed
+// module (same config), mirroring PyTorch's state_dict contract.
+//
+// Train-state format ("SPCK", version 1): header (magic, version, epoch),
+// then the parameter section, then the optimizer's state section. Restoring
+// both halves makes resumed training bit-identical to never having stopped
+// (the exact-resume contract core::TrainConfig::resume_from relies on);
+// restoring parameters alone would rebuild Adam moments from zero and
+// diverge on the first step.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "nn/module.hpp"
+#include "nn/optimizer.hpp"
 
 namespace splpg::nn {
 
@@ -19,5 +29,16 @@ void save_parameters_file(const std::string& path, const Module& module);
 /// arity/shape mismatches with the destination module.
 void load_parameters(std::istream& in, Module& module);
 void load_parameters_file(const std::string& path, Module& module);
+
+void save_train_state(std::ostream& out, const Module& module, const Optimizer& optimizer,
+                      std::uint32_t epoch);
+void save_train_state_file(const std::string& path, const Module& module,
+                           const Optimizer& optimizer, std::uint32_t epoch);
+
+/// Restores parameters and optimizer state; returns the checkpoint's epoch.
+/// Same exception contract as load_parameters.
+std::uint32_t load_train_state(std::istream& in, Module& module, Optimizer& optimizer);
+std::uint32_t load_train_state_file(const std::string& path, Module& module,
+                                    Optimizer& optimizer);
 
 }  // namespace splpg::nn

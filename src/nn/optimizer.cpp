@@ -1,8 +1,40 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
 
 namespace splpg::nn {
+
+namespace {
+// Optimizer-state section header inside a train-state checkpoint.
+constexpr std::uint32_t kStateMagic = 0x53504F53;  // "SPOS"
+
+void write_matrix(std::ostream& out, const tensor::Matrix& matrix) {
+  util::write_pod<std::uint64_t>(out, matrix.rows());
+  util::write_pod<std::uint64_t>(out, matrix.cols());
+  const auto data = matrix.data();
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+}
+
+void read_matrix_into(std::istream& in, tensor::Matrix& matrix) {
+  const auto rows = util::read_pod<std::uint64_t>(in);
+  const auto cols = util::read_pod<std::uint64_t>(in);
+  if (rows != matrix.rows() || cols != matrix.cols()) {
+    throw std::invalid_argument("Adam::load_state: moment shape mismatch");
+  }
+  auto data = matrix.data();
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("Adam::load_state: unexpected end of stream");
+}
+}  // namespace
+
+void Optimizer::save_state(std::ostream& out) const { (void)out; }
+
+void Optimizer::load_state(std::istream& in) { (void)in; }
 
 void Sgd::step() {
   for (auto& p : *parameters_) {
@@ -43,6 +75,33 @@ void Adam::step() {
       value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
     }
   }
+}
+
+void Adam::save_state(std::ostream& out) const {
+  util::write_pod(out, kStateMagic);
+  util::write_pod<std::uint64_t>(out, t_);
+  util::write_pod<std::uint64_t>(out, m_.size());
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    write_matrix(out, m_[i]);
+    write_matrix(out, v_[i]);
+  }
+  if (!out) throw std::runtime_error("Adam::save_state: write failed");
+}
+
+void Adam::load_state(std::istream& in) {
+  if (util::read_pod<std::uint32_t>(in) != kStateMagic) {
+    throw std::runtime_error("Adam::load_state: bad magic");
+  }
+  const auto t = util::read_pod<std::uint64_t>(in);
+  const auto count = util::read_pod<std::uint64_t>(in);
+  if (count != m_.size()) {
+    throw std::invalid_argument("Adam::load_state: moment count mismatch");
+  }
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    read_matrix_into(in, m_[i]);
+    read_matrix_into(in, v_[i]);
+  }
+  t_ = t;
 }
 
 }  // namespace splpg::nn

@@ -5,6 +5,7 @@
 // deterministic update), which mirrors PyTorch DDP semantics.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/module.hpp"
@@ -19,6 +20,16 @@ class Optimizer {
 
   /// Applies one update from the current gradients.
   virtual void step() = 0;
+
+  /// (De)serializes the optimizer's internal state (step count, moment
+  /// estimates). Loading into an optimizer built over an identically shaped
+  /// module makes subsequent steps bit-identical to never having paused —
+  /// the exact-resume contract nn::save_train_state builds on. Stateless
+  /// optimizers (SGD) write/read nothing.
+  virtual void save_state(std::ostream& out) const;
+  /// Throws std::runtime_error on format errors, std::invalid_argument on
+  /// shape/arity mismatches with this optimizer's parameters.
+  virtual void load_state(std::istream& in);
 
   void zero_grad() noexcept {
     for (auto& p : *parameters_) p.zero_grad();
@@ -46,6 +57,9 @@ class Adam final : public Optimizer {
        float epsilon = 1e-8F);
 
   void step() override;
+
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
 
  private:
   float learning_rate_;

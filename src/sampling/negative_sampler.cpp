@@ -74,9 +74,11 @@ std::vector<NodePair> PerSourceNegativeSampler::sample_for_batch(std::span<const
 }
 
 BatchIterator::BatchIterator(std::span<const Edge> positives, std::uint32_t batch_size)
-    : positives_(positives.begin(), positives.end()), batch_size_(std::max(1U, batch_size)) {}
+    : original_(positives.begin(), positives.end()), positives_(original_),
+      batch_size_(std::max(1U, batch_size)) {}
 
 void BatchIterator::reset(Rng& rng) {
+  positives_ = original_;
   rng.shuffle(std::span<Edge>(positives_));
   cursor_ = 0;
 }

@@ -77,7 +77,11 @@ class BatchIterator {
  public:
   BatchIterator(std::span<const graph::Edge> positives, std::uint32_t batch_size);
 
-  /// Starts a new epoch (reshuffles deterministically from `rng`).
+  /// Starts a new epoch. The permutation is derived by shuffling the
+  /// *original* edge order with `rng`, never the previous epoch's order —
+  /// an epoch's batch sequence is a pure function of the rng state handed
+  /// in, which is what makes checkpoint resume bit-exact (the trainer hands
+  /// in a stream derived from (seed, worker, epoch)).
   void reset(util::Rng& rng);
 
   /// Next batch, empty when the epoch is exhausted.
@@ -88,7 +92,8 @@ class BatchIterator {
   }
 
  private:
-  std::vector<graph::Edge> positives_;
+  std::vector<graph::Edge> original_;   // construction order (reset's base)
+  std::vector<graph::Edge> positives_;  // current epoch's permutation
   std::uint32_t batch_size_;
   std::size_t cursor_ = 0;
 };

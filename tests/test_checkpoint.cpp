@@ -1,9 +1,13 @@
-// Tests for model checkpointing and the network cost model.
+// Tests for model checkpointing (parameters-only and full train state with
+// optimizer moments) and the network cost model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "nn/optimizer.hpp"
 
 #include "dist/cost_model.hpp"
 #include "nn/checkpoint.hpp"
@@ -133,6 +137,154 @@ TEST_F(CheckpointFileTest, ShapeMismatchFileThrows) {
   wide_config.hidden_dim = 16;
   nn::LinkPredictionModel wide(wide_config, 1);
   EXPECT_THROW(nn::load_parameters_file(path_, wide), std::invalid_argument);
+}
+
+// ---- full train state: parameters + Adam moments (the exact-resume contract) ----
+
+/// Deterministic synthetic gradients, a pure function of (parameter, element,
+/// step) — lets us replay the exact same "training" on two model instances.
+void apply_fake_gradients(nn::Module& module, std::uint64_t step) {
+  auto& params = module.parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& grad = params[i].mutable_grad();
+    if (grad.empty()) grad.resize(params[i].rows(), params[i].cols());
+    auto data = grad.data();
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      data[j] = 0.01F * static_cast<float>((i + 1) * (j % 7 + 1)) -
+                0.003F * static_cast<float>(step % 5 + 1);
+    }
+  }
+}
+
+void expect_models_bit_identical(const nn::Module& a, const nn::Module& b) {
+  ASSERT_EQ(a.parameters().size(), b.parameters().size());
+  for (std::size_t i = 0; i < a.parameters().size(); ++i) {
+    EXPECT_EQ(tensor::max_abs_diff(a.parameters()[i].value(), b.parameters()[i].value()),
+              0.0F)
+        << "parameter " << i;
+  }
+}
+
+TEST(TrainState, ResumedAdamStepsAreBitIdentical) {
+  nn::LinkPredictionModel reference(small_config(), 1);
+  nn::Adam reference_opt(reference);
+  for (std::uint64_t step = 1; step <= 3; ++step) {
+    apply_fake_gradients(reference, step);
+    reference_opt.step();
+  }
+  std::stringstream state;
+  nn::save_train_state(state, reference, reference_opt, /*epoch=*/7);
+  std::stringstream params_only;
+  nn::save_parameters(params_only, reference);
+  for (std::uint64_t step = 4; step <= 6; ++step) {
+    apply_fake_gradients(reference, step);
+    reference_opt.step();
+  }
+
+  // Full-state resume: differently initialized model + fresh optimizer, then
+  // load_train_state. The next steps must be bit-identical to never pausing.
+  nn::LinkPredictionModel resumed(small_config(), 2);
+  nn::Adam resumed_opt(resumed);
+  EXPECT_EQ(nn::load_train_state(state, resumed, resumed_opt), 7U);
+  for (std::uint64_t step = 4; step <= 6; ++step) {
+    apply_fake_gradients(resumed, step);
+    resumed_opt.step();
+  }
+  expect_models_bit_identical(reference, resumed);
+
+  // Restoring parameters but NOT moments (the old checkpoint format) diverges
+  // under the same gradient replay — the moments are load-bearing.
+  nn::LinkPredictionModel stale(small_config(), 3);
+  nn::Adam stale_opt(stale);
+  nn::load_parameters(params_only, stale);
+  for (std::uint64_t step = 4; step <= 6; ++step) {
+    apply_fake_gradients(stale, step);
+    stale_opt.step();
+  }
+  float divergence = 0.0F;
+  for (std::size_t i = 0; i < reference.parameters().size(); ++i) {
+    divergence = std::max(divergence, tensor::max_abs_diff(reference.parameters()[i].value(),
+                                                           stale.parameters()[i].value()));
+  }
+  EXPECT_GT(divergence, 0.0F);
+}
+
+TEST(TrainState, SgdHasNoStateAndStillRoundTrips) {
+  nn::LinkPredictionModel source(small_config(), 1);
+  nn::Sgd source_opt(source, 0.1F);
+  std::stringstream state;
+  nn::save_train_state(state, source, source_opt, /*epoch=*/2);
+  nn::LinkPredictionModel destination(small_config(), 2);
+  nn::Sgd destination_opt(destination, 0.1F);
+  EXPECT_EQ(nn::load_train_state(state, destination, destination_opt), 2U);
+  expect_models_bit_identical(source, destination);
+}
+
+TEST(TrainState, BadMagicThrows) {
+  nn::LinkPredictionModel model(small_config(), 1);
+  nn::Adam opt(model);
+  std::stringstream stream("garbage bytes, definitely not a train state");
+  EXPECT_THROW(nn::load_train_state(stream, model, opt), std::runtime_error);
+}
+
+TEST(TrainState, TruncatedThrows) {
+  nn::LinkPredictionModel model(small_config(), 1);
+  nn::Adam opt(model);
+  std::stringstream stream;
+  nn::save_train_state(stream, model, opt, 1);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() - 16));
+  EXPECT_THROW(nn::load_train_state(truncated, model, opt), std::exception);
+}
+
+TEST(TrainState, ShapeMismatchThrows) {
+  nn::LinkPredictionModel source(small_config(), 1);
+  nn::Adam source_opt(source);
+  std::stringstream stream;
+  nn::save_train_state(stream, source, source_opt, 1);
+  auto wide_config = small_config();
+  wide_config.hidden_dim = 16;
+  nn::LinkPredictionModel wide(wide_config, 1);
+  nn::Adam wide_opt(wide);
+  EXPECT_THROW(nn::load_train_state(stream, wide, wide_opt), std::invalid_argument);
+}
+
+TEST(TrainState, AdamMomentCountMismatchThrows) {
+  nn::LinkPredictionModel deep(small_config(), 1);
+  nn::Adam deep_opt(deep);
+  std::stringstream stream;
+  deep_opt.save_state(stream);
+  auto shallow_config = small_config();
+  shallow_config.num_layers = 1;
+  nn::LinkPredictionModel shallow(shallow_config, 1);
+  nn::Adam shallow_opt(shallow);
+  EXPECT_THROW(shallow_opt.load_state(stream), std::invalid_argument);
+}
+
+TEST_F(CheckpointFileTest, TrainStateFileRoundTripRestoresEpochAndSteps) {
+  nn::LinkPredictionModel source(small_config(), 1);
+  nn::Adam source_opt(source);
+  for (std::uint64_t step = 1; step <= 2; ++step) {
+    apply_fake_gradients(source, step);
+    source_opt.step();
+  }
+  nn::save_train_state_file(path_, source, source_opt, /*epoch=*/4);
+
+  nn::LinkPredictionModel destination(small_config(), 2);
+  nn::Adam destination_opt(destination);
+  EXPECT_EQ(nn::load_train_state_file(path_, destination, destination_opt), 4U);
+  apply_fake_gradients(source, 3);
+  source_opt.step();
+  apply_fake_gradients(destination, 3);
+  destination_opt.step();
+  expect_models_bit_identical(source, destination);
+}
+
+TEST_F(CheckpointFileTest, TrainStateMissingFileThrows) {
+  nn::LinkPredictionModel model(small_config(), 1);
+  nn::Adam opt(model);
+  EXPECT_THROW(nn::load_train_state_file((dir_ / "absent.bin").string(), model, opt),
+               std::runtime_error);
 }
 
 TEST(CostModel, PureBandwidthMath) {
