@@ -23,6 +23,14 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
                "master ThreadPool width for sparsification/evaluation "
                "(1 = serial, 0 = hardware concurrency); results are "
                "bit-identical at every setting");
+  flags.define("worker-threads", static_cast<std::int64_t>(1),
+               "per-worker ThreadPool width for neighbor sampling and the "
+               "forward/backward kernels (1 = serial, 0 = hardware "
+               "concurrency); results are bit-identical at every setting");
+  flags.define("pipeline", static_cast<std::int64_t>(0),
+               "intra-worker batch pipeline depth: sample/fetch batch i+1 "
+               "while batch i trains, buffering up to this many prepared "
+               "batches (0 = off); results are bit-identical");
   flags.define("datasets", defaults.datasets,
                "comma-separated dataset names, or 'all' for the full Table I list");
   flags.define("partitions", defaults.partitions, "comma-separated partition counts");
@@ -43,6 +51,8 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
   env.max_batches = static_cast<std::uint32_t>(flags.get_int("max_batches"));
   env.alpha = flags.get_double("alpha");
   env.threads = static_cast<std::size_t>(flags.get_int("threads"));
+  env.worker_threads = static_cast<std::size_t>(flags.get_int("worker-threads"));
+  env.pipeline = static_cast<std::uint32_t>(flags.get_int("pipeline"));
 
   const std::string datasets = flags.get_string("datasets");
   if (datasets == "all") {
@@ -105,6 +115,8 @@ core::TrainConfig make_config(const Env& env, core::Method method, std::uint32_t
   config.max_batches_per_epoch = env.max_batches;
   config.alpha = env.alpha;
   config.num_threads = env.threads;
+  config.worker_threads = env.worker_threads;
+  config.pipeline_batches = env.pipeline;
   config.seed = env.seed;
   // The paper reports model averaging over 500 epochs and notes gradient
   // averaging performs "more or less the same" (§V-A). At the harness's

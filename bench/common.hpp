@@ -28,6 +28,8 @@ struct Env {
   std::uint32_t max_batches = 6;
   double alpha = 0.15;
   std::size_t threads = 1;  // master ThreadPool width (1 = serial, 0 = hardware)
+  std::size_t worker_threads = 1;  // per-worker pool width (1 = serial, 0 = hardware)
+  std::uint32_t pipeline = 0;      // intra-worker batch pipeline depth (0 = off)
   std::vector<std::string> datasets;
   std::vector<std::uint32_t> partitions;
   /// Non-empty: load every problem from this saved dataset directory (see

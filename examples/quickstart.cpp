@@ -28,8 +28,15 @@ int main(int argc, char** argv) {
   flags.define("hidden", static_cast<std::int64_t>(64), "hidden dimension");
   flags.define("seed", static_cast<std::int64_t>(1), "run seed");
   flags.define("threads", static_cast<std::int64_t>(1),
-               "master ThreadPool width for sparsification/evaluation "
-               "(1 = serial, 0 = hardware); results are bit-identical");
+               "MASTER-side ThreadPool width, i.e. sparsification/evaluation "
+               "only (1 = serial, 0 = hardware); results are bit-identical");
+  flags.define("worker-threads", static_cast<std::int64_t>(1),
+               "per-WORKER ThreadPool width: chunked neighbor sampling and "
+               "the forward/backward kernels (1 = serial, 0 = hardware); "
+               "results are bit-identical");
+  flags.define("pipeline", static_cast<std::int64_t>(0),
+               "intra-worker batch pipeline depth — sample batch i+1 while "
+               "batch i trains (0 = off); results are bit-identical");
   flags.define("dataset", "",
                "load the dataset from this directory (written by --export) "
                "instead of generating it");
@@ -98,6 +105,10 @@ int main(int argc, char** argv) {
   config.num_partitions = static_cast<std::uint32_t>(flags.get_int("partitions"));
   config.sync = dist::SyncMode::kGradientAveraging;
   config.num_threads = static_cast<std::size_t>(flags.get_int("threads"));
+  // --threads above is master-side only; the worker-side hot paths have
+  // their own pool + pipeline knobs (every combination is bit-identical).
+  config.worker_threads = static_cast<std::size_t>(flags.get_int("worker-threads"));
+  config.pipeline_batches = static_cast<std::uint32_t>(flags.get_int("pipeline"));
   config.seed = seed;
 
   // 4. Train centralized (the accuracy reference), then SpLPG.

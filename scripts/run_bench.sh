@@ -1,22 +1,37 @@
 #!/usr/bin/env bash
-# Build and run the parallel-preprocessing benchmark, leaving its
-# machine-readable results in BENCH_parallel.json at the repo root:
+# Build and run the parallelism benchmarks, leaving machine-readable
+# results at the repo root:
 #
-#   scripts/run_bench.sh [extra bench flags...]
+#   scripts/run_bench.sh [extra bench_parallel_preprocessing flags...]
 # e.g.
-#   scripts/run_bench.sh --threads=8 --partitions=16 --scale=0.5
+#   scripts/run_bench.sh --threads=8 --worker-threads=8 --scale=0.5
 #
-# The benchmark verifies that every pooled hot path (partition
-# sparsification, dense ER kernels, evaluation scoring) is bit-identical to
-# its serial counterpart before timing it, and records the host's hardware
+# Extra flags go to bench_parallel_preprocessing (the two binaries define
+# different flag sets and unknown flags are fatal by design); override the
+# worker benchmark's flags via BENCH_WORKER_FLAGS, e.g.
+#   BENCH_WORKER_FLAGS="--worker-threads=8 --scale=0.5" scripts/run_bench.sh
+#
+#   BENCH_parallel.json  bench_parallel_preprocessing — master-side pools
+#                        (partition sparsification, dense ER kernels,
+#                        evaluation scoring)
+#   BENCH_worker.json    bench_worker_parallel — worker-side pools (chunked
+#                        neighbor sampling, row-blocked forward/backward
+#                        kernels, the intra-worker batch pipeline)
+#
+# Both benchmarks verify that every pooled hot path is bit-identical to its
+# serial counterpart before timing it, and record the host's hardware
 # concurrency — speedups are bounded by the cores actually available.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . -G Ninja >/dev/null
-cmake --build build -j --target bench_parallel_preprocessing
+cmake --build build -j --target bench_parallel_preprocessing bench_worker_parallel
 
 build/bench/bench_parallel_preprocessing --json=BENCH_parallel.json "$@" \
   | tee bench_parallel_output.txt
 
-echo "results written to BENCH_parallel.json"
+# shellcheck disable=SC2086  # intentional word splitting of the flag string
+build/bench/bench_worker_parallel --json=BENCH_worker.json ${BENCH_WORKER_FLAGS:-} \
+  | tee bench_worker_output.txt
+
+echo "results written to BENCH_parallel.json and BENCH_worker.json"

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -18,7 +19,9 @@
 #include "sampling/negative_sampler.hpp"
 #include "sampling/neighbor_sampler.hpp"
 #include "sparsify/sparsifier.hpp"
+#include "tensor/parallel.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace splpg::core {
@@ -34,11 +37,25 @@ namespace {
 /// worker is respawned from the latest checkpoint at the epoch boundary.
 struct WorkerCrashed {};
 
-/// One worker's training step on one mini-batch. Returns the loss.
-float train_batch(dist::WorkerView& view, nn::LinkPredictionModel& model,
-                  const sampling::NeighborSampler& sampler,
-                  const sampling::PerSourceNegativeSampler& negatives,
-                  std::span<const Edge> positives, util::Rng& rng) {
+/// Stage-1 output of one mini-batch: everything the forward/backward pass
+/// needs, with all RNG- and WorkerView-touching work already done. Splitting
+/// the batch step here is what lets the pipeline overlap batch i+1's
+/// sampling (producer thread) with batch i's compute (worker thread) without
+/// perturbing any random stream.
+struct PreparedBatch {
+  sampling::ComputationGraph cg;
+  tensor::Matrix input_features;
+  std::vector<nn::PairIndex> pairs;
+  std::vector<float> labels;
+};
+
+/// Stage 1: negative sampling, seed assembly, k-hop neighbor sampling (on
+/// the view's pool when attached), and the feature gather. Consumes `rng` in
+/// exactly the serial order; the view's meter/fault state advances here.
+PreparedBatch prepare_batch(dist::WorkerView& view,
+                            const sampling::NeighborSampler& sampler,
+                            const sampling::PerSourceNegativeSampler& negatives,
+                            std::span<const Edge> positives, util::Rng& rng) {
   view.begin_batch();
 
   // Per-source uniform negatives, one per positive (balanced batch, §II-B).
@@ -55,34 +72,113 @@ float train_batch(dist::WorkerView& view, nn::LinkPredictionModel& model,
     seeds.push_back(v);
   }
 
-  const auto cg = sampler.sample(view, seeds, rng);
-  auto input_features = view.gather_features(cg.input_nodes());
-  const auto embeddings = model.encode(cg, std::move(input_features));
+  PreparedBatch prep;
+  prep.cg = sampler.sample(view, seeds, rng, view.pool());
+  prep.input_features = view.gather_features(prep.cg.input_nodes());
 
   std::unordered_map<NodeId, std::uint32_t> seed_index;
-  const auto seed_nodes = cg.seed_nodes();
+  const auto seed_nodes = prep.cg.seed_nodes();
   seed_index.reserve(seed_nodes.size() * 2);
   for (std::uint32_t i = 0; i < seed_nodes.size(); ++i) seed_index.emplace(seed_nodes[i], i);
 
-  std::vector<nn::PairIndex> pairs;
-  std::vector<float> labels;
-  pairs.reserve(positives.size() + negative_pairs.size());
-  labels.reserve(pairs.capacity());
+  prep.pairs.reserve(positives.size() + negative_pairs.size());
+  prep.labels.reserve(positives.size() + negative_pairs.size());
   for (const auto& [u, v] : positives) {
-    pairs.push_back({seed_index.at(u), seed_index.at(v)});
-    labels.push_back(1.0F);
+    prep.pairs.push_back({seed_index.at(u), seed_index.at(v)});
+    prep.labels.push_back(1.0F);
   }
   for (const auto& [u, v] : negative_pairs) {
-    pairs.push_back({seed_index.at(u), seed_index.at(v)});
-    labels.push_back(0.0F);
+    prep.pairs.push_back({seed_index.at(u), seed_index.at(v)});
+    prep.labels.push_back(0.0F);
   }
+  return prep;
+}
 
-  const auto logits = model.score(embeddings, pairs);
-  auto loss = bce_with_logits(logits, labels);
+/// Stage 2: forward, loss, backward. RNG-free and view-free, so it can run
+/// while the producer is already sampling the next batch. Returns the loss.
+float compute_batch(nn::LinkPredictionModel& model, PreparedBatch prep) {
+  const auto embeddings = model.encode(prep.cg, std::move(prep.input_features));
+  const auto logits = model.score(embeddings, prep.pairs);
+  auto loss = bce_with_logits(logits, prep.labels);
   model.zero_grad();
   loss.backward();
   return loss.item();
 }
+
+/// One worker's training step on one mini-batch (both stages). Returns the
+/// loss.
+float train_batch(dist::WorkerView& view, nn::LinkPredictionModel& model,
+                  const sampling::NeighborSampler& sampler,
+                  const sampling::PerSourceNegativeSampler& negatives,
+                  std::span<const Edge> positives, util::Rng& rng) {
+  return compute_batch(model, prepare_batch(view, sampler, negatives, positives, rng));
+}
+
+/// One pipeline hand-off: a prepared round (or the reason there isn't one).
+struct PipelineItem {
+  PreparedBatch prep;
+  bool has_batch = false;       // false = the round's batch drew empty
+  bool crash = false;           // the fault plan scheduled a crash this round
+  std::exception_ptr error;     // a real producer failure
+};
+
+/// Bounded single-producer/single-consumer queue for pipeline hand-off.
+/// Capacity caps how far the producer can run ahead (memory bound). cancel()
+/// unblocks a producer stuck in push() when the consumer dies early.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  /// Blocks while full. Returns false (dropping the item) if cancelled.
+  bool push(PipelineItem item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return cancelled_ || items_.size() < capacity_; });
+    if (cancelled_) return false;
+    items_.push(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. The consumer pops at most as many items as the
+  /// producer pushes, so this never waits on a finished producer.
+  PipelineItem pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty(); });
+    PipelineItem item = std::move(items_.front());
+    items_.pop();
+    not_full_.notify_one();
+    return item;
+  }
+
+  void cancel() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      cancelled_ = true;
+    }
+    not_full_.notify_all();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::queue<PipelineItem> items_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  bool cancelled_ = false;
+};
+
+/// Joins the epoch's producer thread on every exit path (normal, injected
+/// crash, real error) so it never outlives the queue or the epoch state it
+/// captures by reference.
+struct ProducerGuard {
+  BoundedQueue& queue;
+  std::thread& producer;
+  ~ProducerGuard() {
+    queue.cancel();
+    if (producer.joinable()) producer.join();
+  }
+};
 
 }  // namespace
 
@@ -171,6 +267,17 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
     owned.push_back(num_workers == 1
                         ? std::vector<Edge>(split.train_pos.begin(), split.train_pos.end())
                         : views[w]->owned_positive_edges(split.train_pos));
+  }
+
+  // Per-worker compute pools (worker_threads != 1): shared by the sampler's
+  // chunk fanout picks and, via ComputePoolScope, the row-blocked tensor
+  // kernels. One pool per worker keeps the worker streams independent.
+  std::vector<std::unique_ptr<util::ThreadPool>> worker_pools(num_workers);
+  if (config.worker_threads != 1) {
+    for (std::uint32_t w = 0; w < num_workers; ++w) {
+      worker_pools[w] = std::make_unique<util::ThreadPool>(config.worker_threads);
+      views[w]->attach_pool(worker_pools[w].get());
+    }
   }
 
   const auto fanouts = config.fanouts.empty() ? replicas[0]->default_fanouts() : config.fanouts;
@@ -267,6 +374,9 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
 
   auto worker_main = [&](std::uint32_t w) {
     try {
+      // Route this thread's tensor kernels through the worker's pool (no-op
+      // when worker_threads == 1). Scheduling only — bytes are unchanged.
+      const tensor::ComputePoolScope compute_scope(worker_pools[w].get());
       util::Rng worker_rng = util::Rng(config.seed).split("worker", w);
       sampling::BatchIterator batches(owned[w], config.batch_size);
 
@@ -282,36 +392,88 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
         epoch_loss[w] = 0.0;
         epoch_batches[w] = 0;
 
+        // Stage 1 of one round: crash check, batch draw, and batch
+        // preparation (with the degraded-batch fallback on permanent fetch
+        // failure). Shared verbatim by the serial loop and the pipeline
+        // producer so both execute identical statements in identical order —
+        // the basis of the pipeline's bit-identity.
+        auto produce_round = [&](std::uint32_t round) {
+          PipelineItem item;
+          if (injector && injector->crash_due(w, epoch, round)) {
+            item.crash = true;
+            return item;
+          }
+          std::vector<Edge> batch = batches.next();
+          if (batch.empty()) {
+            batches.reset(shuffle_rng);
+            batch = batches.next();
+          }
+          if (!batch.empty()) {
+            try {
+              item.prep =
+                  prepare_batch(*views[w], sampler, *negative_samplers[w], batch, rng);
+            } catch (const dist::RemoteFetchError&) {
+              // Permanent fetch failure: finish the batch on local data
+              // (local negative candidates, no remote reads) instead of
+              // aborting the worker.
+              ++views[w]->meter().faults().degraded_batches;
+              views[w]->set_degraded(true);
+              item.prep =
+                  prepare_batch(*views[w], sampler, *fallback_samplers[w], batch, rng);
+              views[w]->set_degraded(false);
+            }
+            item.has_batch = true;
+          }
+          return item;
+        };
+
+        // Stage 2 of one round: compute, synchronize, step. Runs on the
+        // worker thread in ascending round order in both modes.
+        auto consume_round = [&](PipelineItem item) {
+          if (item.error) std::rethrow_exception(item.error);
+          if (item.crash) throw WorkerCrashed{};
+          if (item.has_batch) {
+            epoch_loss[w] += compute_batch(*replicas[w], std::move(item.prep));
+            ++epoch_batches[w];
+          }
+          if (config.sync == dist::SyncMode::kGradientAveraging && num_workers > 1) {
+            context.all_reduce_gradients();
+          }
+          optimizers[w]->step();
+        };
+
         try {
-          for (std::uint32_t round = 0; round < rounds; ++round) {
-            if (injector && injector->crash_due(w, epoch, round)) throw WorkerCrashed{};
-            std::vector<Edge> batch = batches.next();
-            if (batch.empty()) {
-              batches.reset(shuffle_rng);
-              batch = batches.next();
-            }
-            if (!batch.empty()) {
-              float loss = 0.0F;
-              try {
-                loss = train_batch(*views[w], *replicas[w], sampler, *negative_samplers[w],
-                                   batch, rng);
-              } catch (const dist::RemoteFetchError&) {
-                // Permanent fetch failure: finish the batch on local data
-                // (local negative candidates, no remote reads) instead of
-                // aborting the worker.
-                ++views[w]->meter().faults().degraded_batches;
-                views[w]->set_degraded(true);
-                loss = train_batch(*views[w], *replicas[w], sampler, *fallback_samplers[w],
-                                   batch, rng);
-                views[w]->set_degraded(false);
+          if (config.pipeline_batches > 0) {
+            // Two-stage pipeline: a dedicated producer thread runs stage 1
+            // for round i+1 (and ahead, up to the queue bound) while this
+            // thread runs stage 2 for round i. All RNG and WorkerView state
+            // lives in stage 1 on the single producer thread, in serial
+            // round order, so the hand-off cannot perturb any stream. A
+            // scheduled crash or producer failure is delivered in-order as a
+            // marker item; the producer stops at it, and stage 2 raises it
+            // after finishing every earlier round — exactly the serial
+            // semantics.
+            BoundedQueue queue(config.pipeline_batches);
+            std::thread producer([&] {
+              for (std::uint32_t round = 0; round < rounds; ++round) {
+                PipelineItem item;
+                try {
+                  item = produce_round(round);
+                } catch (...) {
+                  item.error = std::current_exception();
+                }
+                const bool stop = item.crash || item.error != nullptr;
+                if (!queue.push(std::move(item)) || stop) return;
               }
-              epoch_loss[w] += loss;
-              ++epoch_batches[w];
+            });
+            const ProducerGuard guard{queue, producer};
+            for (std::uint32_t round = 0; round < rounds; ++round) {
+              consume_round(queue.pop());
             }
-            if (config.sync == dist::SyncMode::kGradientAveraging && num_workers > 1) {
-              context.all_reduce_gradients();
+          } else {
+            for (std::uint32_t round = 0; round < rounds; ++round) {
+              consume_round(produce_round(round));
             }
-            optimizers[w]->step();
           }
         } catch (const WorkerCrashed&) {
           // Injected crash: publish, leave the collectives (survivors'

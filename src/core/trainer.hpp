@@ -90,6 +90,21 @@ struct TrainConfig {
   /// `num_partitions` and unaffected by this knob.
   std::size_t num_threads = 1;
 
+  /// Worker-side ThreadPool width for the per-batch hot paths: chunk-parallel
+  /// neighbor-fanout sampling and the row-blocked matmul / edge-aggregation
+  /// kernels inside forward/backward. Each worker owns its own pool of this
+  /// many threads. 1 = serial (default), 0 = hardware concurrency. Results
+  /// are bit-identical at every setting (DESIGN.md §6).
+  std::size_t worker_threads = 1;
+
+  /// Intra-worker two-stage batch pipeline depth. When > 0, each worker runs
+  /// a dedicated producer thread that samples/fetches batch i+1 (buffering up
+  /// to this many prepared batches) while the worker thread trains batch i.
+  /// 0 = off (default). Bit-identical to the non-pipelined path: the producer
+  /// executes exactly the statements (in exactly the order) the serial loop
+  /// would, and the consumer processes rounds in order.
+  std::uint32_t pipeline_batches = 0;
+
   std::uint64_t seed = 1;
 };
 

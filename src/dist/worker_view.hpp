@@ -67,6 +67,13 @@ class WorkerView final : public sampling::AdjacencyProvider {
     retry_ = retry;
   }
 
+  /// Attaches the worker's compute pool (owned by the trainer). The sampler
+  /// uses it for chunk-parallel fanout picks; concurrent_safe() stays false
+  /// because append_neighbors itself is stateful (metering dedup, fault
+  /// randomness) and must run serially. nullptr restores serial sampling.
+  void attach_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
+  [[nodiscard]] util::ThreadPool* pool() const noexcept { return pool_; }
+
   /// Degraded mode (set by the trainer after a permanent fetch failure, for
   /// the remainder of the batch): remote adjacency behaves as
   /// RemoteAdjacency::kNone and non-local feature rows are served as zeros,
@@ -126,6 +133,7 @@ class WorkerView final : public sampling::AdjacencyProvider {
   WorkerPolicy policy_;
   CommMeter meter_;
   FaultInjector* injector_ = nullptr;
+  util::ThreadPool* pool_ = nullptr;
   RetryPolicy retry_;
   bool degraded_ = false;
   double batch_fault_seconds_ = 0.0;

@@ -20,6 +20,10 @@
 #include "graph/csr_graph.hpp"
 #include "util/rng.hpp"
 
+namespace splpg::util {
+class ThreadPool;
+}  // namespace splpg::util
+
 namespace splpg::sampling {
 
 /// Abstract adjacency source (global id space).
@@ -31,6 +35,14 @@ class AdjacencyProvider {
   /// unweighted) to the output vectors.
   virtual void append_neighbors(graph::NodeId v, std::vector<graph::NodeId>& neighbors,
                                 std::vector<float>& weights) = 0;
+
+  /// True iff append_neighbors may be called concurrently from multiple
+  /// threads. Defaults to false: dist::WorkerView is stateful (comm metering
+  /// dedup, fault injection) and its reads must happen serially in
+  /// deterministic order, so the pooled sampler only parallelizes the fanout
+  /// picks for it. Read-only providers override to true and get the
+  /// adjacency fetch parallelized too.
+  [[nodiscard]] virtual bool concurrent_safe() const noexcept { return false; }
 };
 
 /// Plain provider over a CsrGraph (centralized training, tests).
@@ -40,6 +52,8 @@ class GraphProvider final : public AdjacencyProvider {
 
   void append_neighbors(graph::NodeId v, std::vector<graph::NodeId>& neighbors,
                         std::vector<float>& weights) override;
+
+  [[nodiscard]] bool concurrent_safe() const noexcept override { return true; }
 
  private:
   const graph::CsrGraph* graph_;
@@ -86,10 +100,19 @@ class NeighborSampler {
   [[nodiscard]] std::size_t num_layers() const noexcept { return fanouts_.size(); }
 
   /// Builds the computational graph for `seeds` (global ids; duplicates
-  /// allowed and collapsed). Deterministic given rng state.
+  /// allowed and collapsed). Deterministic given rng state, and — the
+  /// DESIGN.md §6 contract — bit-identical for every (pool, chunk_size-fixed)
+  /// configuration: `rng` advances by exactly one draw per call to derive a
+  /// base seed, and each chunk of `chunk_size` destinations samples from its
+  /// own pre-split stream, so neither the pool width nor task interleaving
+  /// can reach the output bytes. Chunk picks run on `pool` when given (and
+  /// the adjacency fetch too, if the provider is concurrent_safe());
+  /// per-chunk outputs are merged serially in ascending chunk order.
   [[nodiscard]] ComputationGraph sample(AdjacencyProvider& adjacency,
                                         std::span<const graph::NodeId> seeds,
-                                        util::Rng& rng) const;
+                                        util::Rng& rng,
+                                        util::ThreadPool* pool = nullptr,
+                                        std::size_t chunk_size = 64) const;
 
  private:
   std::vector<std::uint32_t> fanouts_;

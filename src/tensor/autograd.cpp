@@ -6,7 +6,37 @@
 #include <limits>
 #include <unordered_set>
 
+#include "tensor/parallel.hpp"
+
 namespace splpg::tensor {
+
+namespace {
+
+// Stable grouping of edge ids by an endpoint (counting sort): after
+// group_edges(keys, n), edges with keys[e] == r occupy
+// edges[offsets[r]..offsets[r+1]) in ascending e. Used by the pooled
+// spmm_edges paths so each task owns disjoint output rows while the
+// per-row, per-element accumulation order stays ascending e — exactly the
+// serial loop's order, so the bytes are identical.
+struct EdgeGroups {
+  std::vector<std::uint32_t> offsets;  // num_keys + 1
+  std::vector<std::uint32_t> edges;    // edge ids, grouped by key, stable
+};
+
+EdgeGroups group_edges(std::span<const std::uint32_t> keys, std::size_t num_keys) {
+  EdgeGroups groups;
+  groups.offsets.assign(num_keys + 1, 0);
+  for (const std::uint32_t key : keys) ++groups.offsets[key + 1];
+  for (std::size_t r = 0; r < num_keys; ++r) groups.offsets[r + 1] += groups.offsets[r];
+  groups.edges.resize(keys.size());
+  std::vector<std::uint32_t> cursor(groups.offsets.begin(), groups.offsets.end() - 1);
+  for (std::size_t e = 0; e < keys.size(); ++e) {
+    groups.edges[cursor[keys[e]]++] = static_cast<std::uint32_t>(e);
+  }
+  return groups;
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -348,34 +378,74 @@ Tensor spmm_edges(const Tensor& a, const Tensor& coef, std::span<const std::uint
   assert(!coef.defined() ||
          (coef.rows() == src_idx.size() && coef.cols() == 1));
   Matrix out(num_dst, a.cols());
-  for (std::size_t e = 0; e < src_idx.size(); ++e) {
-    assert(src_idx[e] < a.rows() && dst_idx[e] < num_dst);
-    const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
-    const auto src = a.value().row(src_idx[e]);
-    const auto dst = out.row(dst_idx[e]);
-    for (std::size_t k = 0; k < src.size(); ++k) dst[k] += c * src[k];
+  const std::size_t flops = src_idx.size() * a.cols();
+  if (util::ThreadPool* pool = pool_for(flops)) {
+    // Edges sharing a dst row conflict, so group edges by dst (stable) and
+    // hand each task disjoint output rows; within a row, edges still run in
+    // ascending e, matching the serial loop's per-element order exactly.
+    const EdgeGroups by_dst = group_edges(dst_idx, num_dst);
+    pool->parallel_for(0, num_dst, [&](std::size_t r) {
+      const auto dst = out.row(r);
+      for (std::uint32_t i = by_dst.offsets[r]; i < by_dst.offsets[r + 1]; ++i) {
+        const std::uint32_t e = by_dst.edges[i];
+        assert(src_idx[e] < a.rows());
+        const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
+        const auto src = a.value().row(src_idx[e]);
+        for (std::size_t k = 0; k < src.size(); ++k) dst[k] += c * src[k];
+      }
+    });
+  } else {
+    for (std::size_t e = 0; e < src_idx.size(); ++e) {
+      assert(src_idx[e] < a.rows() && dst_idx[e] < num_dst);
+      const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
+      const auto src = a.value().row(src_idx[e]);
+      const auto dst = out.row(dst_idx[e]);
+      for (std::size_t k = 0; k < src.size(); ++k) dst[k] += c * src[k];
+    }
   }
   auto srcs = std::make_shared<std::vector<std::uint32_t>>(src_idx.begin(), src_idx.end());
   auto dsts = std::make_shared<std::vector<std::uint32_t>>(dst_idx.begin(), dst_idx.end());
   return make_op(std::move(out), {a, coef}, [a, coef, srcs, dsts](Node& self) {
+    const std::size_t grad_flops = srcs->size() * self.grad.cols();
     if (a.requires_grad()) {
       Matrix da(a.rows(), a.cols());
-      for (std::size_t e = 0; e < srcs->size(); ++e) {
-        const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
-        const auto grad_row = self.grad.row((*dsts)[e]);
-        const auto dst = da.row((*srcs)[e]);
-        for (std::size_t k = 0; k < dst.size(); ++k) dst[k] += c * grad_row[k];
+      if (util::ThreadPool* pool = pool_for(grad_flops)) {
+        // Same trick as the forward, with src/dst roles swapped: group by
+        // src so each task owns disjoint rows of da.
+        const EdgeGroups by_src = group_edges(*srcs, a.rows());
+        pool->parallel_for(0, a.rows(), [&](std::size_t r) {
+          const auto dst = da.row(r);
+          for (std::uint32_t i = by_src.offsets[r]; i < by_src.offsets[r + 1]; ++i) {
+            const std::uint32_t e = by_src.edges[i];
+            const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
+            const auto grad_row = self.grad.row((*dsts)[e]);
+            for (std::size_t k = 0; k < dst.size(); ++k) dst[k] += c * grad_row[k];
+          }
+        });
+      } else {
+        for (std::size_t e = 0; e < srcs->size(); ++e) {
+          const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
+          const auto grad_row = self.grad.row((*dsts)[e]);
+          const auto dst = da.row((*srcs)[e]);
+          for (std::size_t k = 0; k < dst.size(); ++k) dst[k] += c * grad_row[k];
+        }
       }
       a.node_ref().accumulate(da);
     }
     if (coef.defined() && coef.requires_grad()) {
       Matrix dc(coef.rows(), 1);
-      for (std::size_t e = 0; e < srcs->size(); ++e) {
+      const auto run_edge = [&](std::size_t e) {
         const auto grad_row = self.grad.row((*dsts)[e]);
         const auto src = a.value().row((*srcs)[e]);
         float dot = 0.0F;
         for (std::size_t k = 0; k < src.size(); ++k) dot += grad_row[k] * src[k];
         dc.at(e, 0) = dot;
+      };
+      // Each edge writes its own dc element; no conflicts.
+      if (util::ThreadPool* pool = pool_for(grad_flops)) {
+        pool->parallel_for(0, srcs->size(), run_edge);
+      } else {
+        for (std::size_t e = 0; e < srcs->size(); ++e) run_edge(e);
       }
       coef.node_ref().accumulate(dc);
     }

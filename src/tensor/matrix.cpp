@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/parallel.hpp"
+
 namespace splpg::tensor {
 
 void Matrix::add_inplace(const Matrix& other) noexcept {
@@ -45,7 +47,7 @@ void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
+  const auto run_row = [&](std::size_t i) {
     const auto a_row = a.row(i);
     const auto c_row = c.row(i);
     for (std::size_t p = 0; p < k; ++p) {
@@ -54,6 +56,12 @@ void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
       const auto b_row = b.row(p);
       for (std::size_t j = 0; j < n; ++j) c_row[j] += alpha * b_row[j];
     }
+  };
+  // Each task owns disjoint rows of C; per-row work is untouched.
+  if (util::ThreadPool* pool = pool_for(m * k * n)) {
+    pool->parallel_for(0, m, run_row);
+  } else {
+    for (std::size_t i = 0; i < m; ++i) run_row(i);
   }
 }
 
@@ -70,6 +78,23 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
+  if (util::ThreadPool* pool = pool_for(m * k * n)) {
+    // Row i of A touches EVERY row of C, so the i-loop cannot be split.
+    // Parallelize over C rows instead: each task owns disjoint rows p, and
+    // for a fixed (p, j) the contributions a(i,p)*b(i,j) still accumulate in
+    // ascending i — the exact per-element order of the serial loop below —
+    // so the bytes are identical.
+    pool->parallel_for(0, k, [&](std::size_t p) {
+      const auto c_row = c.row(p);
+      for (std::size_t i = 0; i < m; ++i) {
+        const float alpha = a.at(i, p);
+        if (alpha == 0.0F) continue;
+        const auto b_row = b.row(i);
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += alpha * b_row[j];
+      }
+    });
+    return;
+  }
   for (std::size_t i = 0; i < m; ++i) {
     const auto a_row = a.row(i);
     const auto b_row = b.row(i);
@@ -95,7 +120,7 @@ void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
+  const auto run_row = [&](std::size_t i) {
     const auto a_row = a.row(i);
     const auto c_row = c.row(i);
     for (std::size_t j = 0; j < n; ++j) {
@@ -104,6 +129,12 @@ void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
       for (std::size_t p = 0; p < k; ++p) dot += a_row[p] * b_row[p];
       c_row[j] += dot;
     }
+  };
+  // Each task owns disjoint rows of C; per-row work is untouched.
+  if (util::ThreadPool* pool = pool_for(m * k * n)) {
+    pool->parallel_for(0, m, run_row);
+  } else {
+    for (std::size_t i = 0; i < m; ++i) run_row(i);
   }
 }
 

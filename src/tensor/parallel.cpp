@@ -1,0 +1,19 @@
+#include "tensor/parallel.hpp"
+
+namespace splpg::tensor {
+
+namespace {
+thread_local util::ThreadPool* active_pool = nullptr;
+}  // namespace
+
+util::ThreadPool* compute_pool() noexcept { return active_pool; }
+
+ComputePoolScope::ComputePoolScope(util::ThreadPool* pool) noexcept
+    : previous_(active_pool) {
+  // A 1-thread pool cannot overlap anything; skip the fan-out overhead.
+  active_pool = (pool != nullptr && pool->size() > 1) ? pool : nullptr;
+}
+
+ComputePoolScope::~ComputePoolScope() { active_pool = previous_; }
+
+}  // namespace splpg::tensor

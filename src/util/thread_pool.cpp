@@ -5,6 +5,14 @@
 
 namespace splpg::util {
 
+namespace {
+// The pool whose worker_loop the current thread is running (nullptr on any
+// non-pool thread). Lets parallel_for detect self-nesting without a lookup.
+thread_local const ThreadPool* current_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept { return current_pool == this; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -38,6 +46,13 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
+  if (on_worker_thread()) {
+    // Nested call from one of our own workers: blocking on chunk futures
+    // here could deadlock a fully occupied pool, so run the range inline.
+    // Chunks are contiguous/disjoint/ascending, so the bytes are identical.
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   const std::size_t total = end - begin;
   const std::size_t chunks = std::min(total, std::max<std::size_t>(1, workers_.size()));
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
@@ -64,6 +79,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 void ThreadPool::worker_loop() {
+  current_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {

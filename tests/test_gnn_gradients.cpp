@@ -1,5 +1,9 @@
 // Finite-difference gradient verification through the GNN layers and the
 // full link-prediction model — the complete backward path the trainer uses.
+// The pooled variants re-run the same checks with a worker ThreadPool
+// installed (tensor::ComputePoolScope) at several widths: the row-blocked
+// matmul / edge-aggregation kernels must pass the same finite-difference
+// test AND reproduce the serial gradients bitwise.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -10,6 +14,8 @@
 #include "nn/predictor.hpp"
 #include "sampling/neighbor_sampler.hpp"
 #include "tensor/init.hpp"
+#include "tensor/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace splpg::nn {
 namespace {
@@ -123,6 +129,109 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{GnnKind::kSage, PredictorKind::kDot},
                       std::pair{GnnKind::kGat, PredictorKind::kDot},
                       std::pair{GnnKind::kGatv2, PredictorKind::kMlp}));
+
+// ---- pooled (row-blocked) kernel paths ----
+//
+// The blocks above are far below tensor::kParallelFlopThreshold, so they
+// always run the serial kernels. These fixtures are sized past the
+// threshold (matmul: 192*40*40 flops; aggregation: >= 1152 edges * 40 cols
+// per block, against the 2^15 gate), so with a ComputePoolScope installed
+// the row-blocked matmul_acc / matmul_tn_acc / matmul_nt_acc and grouped
+// spmm_edges paths actually run.
+
+/// Random bipartite stack: 192 input nodes -> 96 -> 48 destinations, 24
+/// edges per destination, non-trivial weights.
+sampling::ComputationGraph big_graph(Rng& rng) {
+  sampling::ComputationGraph cg;
+  std::size_t num_src = 192;
+  for (const std::size_t num_dst : {96U, 48U}) {
+    Block block;
+    block.dst_count = num_dst;
+    for (std::uint32_t v = 0; v < num_src; ++v) block.src_nodes.push_back(v);
+    for (std::uint32_t d = 0; d < num_dst; ++d) {
+      for (int e = 0; e < 24; ++e) {
+        block.edge_src.push_back(static_cast<std::uint32_t>(rng.uniform_u64(num_src)));
+        block.edge_dst.push_back(d);
+        block.edge_weight.push_back(0.25F + static_cast<float>(rng.uniform()));
+      }
+    }
+    cg.blocks.push_back(std::move(block));
+    num_src = num_dst;
+  }
+  return cg;
+}
+
+class PooledGradient : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PooledGradient, FiniteDifferencesHoldUnderThePool) {
+  ModelConfig config;
+  config.gnn = GnnKind::kSage;
+  config.predictor = PredictorKind::kMlp;
+  config.in_dim = 40;
+  config.hidden_dim = 40;
+  config.num_layers = 2;
+  config.predictor_layers = 2;
+  LinkPredictionModel model(config, 91);
+
+  Rng graph_rng(92);
+  const auto cg = big_graph(graph_rng);
+  Rng feat_rng(93);
+  const Matrix features = tensor::gaussian(192, 40, 0.0, 1.0, feat_rng);
+  const std::vector<PairIndex> pairs{{0, 1}, {2, 3}, {4, 5}, {1, 7}};
+  const std::vector<float> labels{1.0F, 0.0F, 1.0F, 0.0F};
+  auto loss_fn = [&] {
+    const Tensor embeddings = model.encode(cg, features);
+    return bce_with_logits(model.score(embeddings, pairs), labels);
+  };
+
+  util::ThreadPool pool(GetParam());
+  const tensor::ComputePoolScope scope(&pool);
+  check_all_parameters(model, loss_fn);
+}
+
+TEST_P(PooledGradient, GradientsMatchSerialBitwise) {
+  ModelConfig config;
+  config.gnn = GnnKind::kGat;  // exercises segment_softmax + coef grads too
+  config.predictor = PredictorKind::kMlp;
+  config.in_dim = 40;
+  config.hidden_dim = 40;
+  config.num_layers = 2;
+  config.predictor_layers = 2;
+  LinkPredictionModel model(config, 94);
+
+  Rng graph_rng(95);
+  const auto cg = big_graph(graph_rng);
+  Rng feat_rng(96);
+  const Matrix features = tensor::gaussian(192, 40, 0.0, 1.0, feat_rng);
+  const std::vector<PairIndex> pairs{{0, 1}, {2, 3}, {4, 5}};
+  const std::vector<float> labels{1.0F, 0.0F, 1.0F};
+  auto run = [&] {
+    model.zero_grad();
+    Tensor loss = bce_with_logits(model.score(model.encode(cg, features), pairs), labels);
+    loss.backward();
+    std::vector<Matrix> grads;
+    grads.reserve(model.parameters().size());
+    for (const auto& p : model.parameters()) grads.push_back(p.grad());
+    return grads;
+  };
+
+  const auto serial = run();
+  util::ThreadPool pool(GetParam());
+  std::vector<Matrix> pooled;
+  {
+    const tensor::ComputePoolScope scope(&pool);
+    pooled = run();
+  }
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    // The contract is bit-identity; 1e-6 is the acceptance bound it implies.
+    const float diff = tensor::max_abs_diff(serial[p], pooled[p]);
+    EXPECT_LE(diff, 1e-6F) << "param " << p;
+    EXPECT_EQ(diff, 0.0F) << "param " << p << " (bit-identity)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PooledGradient, ::testing::Values(2U, 4U, 7U));
 
 }  // namespace
 }  // namespace splpg::nn

@@ -119,9 +119,12 @@ TEST(TrainerEarlyStopping, PatienceTruncatesTraining) {
   const auto result =
       core::train_link_prediction(fixture.split, fixture.dataset.features, config);
   EXPECT_LT(result.history.size(), 12U);
-  // With lr = 0 validation never improves on the initial best, so training
-  // stops after exactly `patience` evaluations.
-  EXPECT_EQ(result.history.size(), 2U);
+  // With lr = 0 every evaluation scores the initial model, so after the
+  // first evaluation (which may or may not beat the 0.0 starting best)
+  // validation never improves again: training stops within
+  // 1 + patience epochs, and no earlier than patience.
+  EXPECT_LE(result.history.size(), 1U + config.patience);
+  EXPECT_GE(result.history.size(), config.patience);
 }
 
 TEST(TrainerEarlyStopping, ZeroPatienceRunsAllEpochs) {

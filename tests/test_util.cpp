@@ -367,6 +367,85 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                std::runtime_error);
 }
 
+// ---- stress / abuse (the semantics documented in thread_pool.hpp) ----
+
+TEST(ThreadPoolStress, ThrowingTasksLeavePoolUsable) {
+  ThreadPool pool(2);
+  // Every task throws; every future must rethrow on get()...
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([] { throw std::runtime_error("task boom"); }));
+  }
+  for (auto& f : futures) EXPECT_THROW(f.get(), std::runtime_error);
+  // ...and the pool threads must survive to run ordinary work afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_NO_THROW(pool.submit([] {}).get());
+}
+
+TEST(ThreadPoolStress, ParallelForRethrowsAfterAllChunksFinish) {
+  ThreadPool pool(4);
+  // One chunk throws: that chunk stops at the exception (its remaining
+  // indices are abandoned), every OTHER chunk still runs to completion
+  // before the first exception is rethrown, and no index runs twice.
+  std::vector<std::atomic<int>> hits(512);
+  EXPECT_THROW(pool.parallel_for(0, 512,
+                                 [&](std::size_t i) {
+                                   ++hits[i];
+                                   if (i == 100) throw std::runtime_error("chunk boom");
+                                 }),
+               std::runtime_error);
+  std::size_t visited = 0;
+  for (const auto& h : hits) {
+    EXPECT_LE(h.load(), 1);
+    visited += static_cast<std::size_t>(h.load());
+  }
+  EXPECT_EQ(hits[100].load(), 1);
+  // At most one chunk (ceil(512/4) = 128 indices) can have been cut short.
+  EXPECT_GE(visited, 512U - 128U);
+}
+
+TEST(ThreadPoolStress, NestedParallelForRunsInlineOnWorkerThread) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  std::atomic<int> inline_calls{0};
+  // parallel_for from a pool worker must not deadlock the (tiny) pool: the
+  // nested range runs inline on the calling worker thread.
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(0, 50, [&](std::size_t) {
+      if (pool.on_worker_thread()) ++inline_calls;
+      ++inner;
+    });
+  });
+  EXPECT_EQ(inner.load(), 4 * 50);
+  EXPECT_EQ(inline_calls.load(), 4 * 50);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPoolStress, SubmitFromWorkerThreadDoesNotBlock) {
+  ThreadPool pool(1);  // single worker: a blocking re-submit would deadlock
+  std::atomic<int> counter{0};
+  std::future<void> nested;
+  pool.submit([&] {
+      // Enqueue-only from inside the sole worker; completes after we return.
+      nested = pool.submit([&] { ++counter; });
+      ++counter;
+    }).get();
+  nested.get();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolStress, ManySmallTasksUnderContention) {
+  ThreadPool pool(7);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(0, 1000, [&](std::size_t i) { total += static_cast<long>(i); });
+  }
+  EXPECT_EQ(total.load(), 20L * (999L * 1000L / 2));
+}
+
 TEST(Flags, ParsesAllForms) {
   Flags flags("test");
   flags.define("name", "default", "a string");
@@ -379,6 +458,27 @@ TEST(Flags, ParsesAllForms) {
   EXPECT_EQ(flags.get_int("count"), 42);
   EXPECT_DOUBLE_EQ(flags.get_double("rate"), 0.25);
   EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, DashedNamesParseInBothForms) {
+  // The worker-parallelism knobs use dashed names (--worker-threads,
+  // quickstart + bench); make sure dashes survive both spellings.
+  Flags flags("test");
+  flags.define("worker-threads", static_cast<std::int64_t>(1), "pool width");
+  flags.define("pipeline", static_cast<std::int64_t>(0), "pipeline depth");
+  {
+    const char* argv[] = {"prog", "--worker-threads=4", "--pipeline", "2"};
+    ASSERT_TRUE(flags.parse(4, const_cast<char**>(argv)));
+    EXPECT_EQ(flags.get_int("worker-threads"), 4);
+    EXPECT_EQ(flags.get_int("pipeline"), 2);
+  }
+  {
+    Flags spaced("test");
+    spaced.define("worker-threads", static_cast<std::int64_t>(1), "pool width");
+    const char* argv[] = {"prog", "--worker-threads", "7"};
+    ASSERT_TRUE(spaced.parse(3, const_cast<char**>(argv)));
+    EXPECT_EQ(spaced.get_int("worker-threads"), 7);
+  }
 }
 
 TEST(Flags, DefaultsWhenUnset) {
