@@ -1,0 +1,297 @@
+// Effective-resistance solver benchmark: dense pseudo-inverse oracle vs
+// per-edge conjugate gradients vs the Spielman–Srivastava JL sketch, at
+// increasing graph sizes.
+//
+// The dense route is O(n^3) and is only run up to --dense-max-nodes — the
+// point of the sweep is to show the sparse solvers continuing past the wall
+// where the eigendecomposition stops being feasible, up to a --big-edges
+// graph (default 100k edges) that the dense path could not even allocate
+// sensibly. Each scale cross-checks the solvers against each other (max
+// relative disagreement) before timing, and wall time is paired with
+// process-CPU time so pooled runs report their achieved parallelism.
+// Results land in --json (BENCH_er.json) with one section per solver.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "data/generators.hpp"
+#include "sparsify/effective_resistance.hpp"
+#include "util/flags.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct Timing {
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+/// Best-of-`repeats` wall time (min filters scheduler noise); CPU time is
+/// taken from the best wall run.
+Timing time_best(int repeats, const std::function<void()>& fn) {
+  Timing best;
+  for (int r = 0; r < repeats; ++r) {
+    const splpg::util::Stopwatch watch;
+    const splpg::util::ProcessCpuStopwatch cpu_watch;
+    fn();
+    const double wall = watch.seconds();
+    const double cpu = cpu_watch.seconds();
+    if (r == 0 || wall < best.wall_seconds) best = Timing{wall, cpu};
+  }
+  return best;
+}
+
+struct Row {
+  std::uint32_t nodes = 0;
+  std::uint64_t edges = 0;
+  bool ran = false;
+  Timing timing;
+};
+
+struct Agreement {
+  std::uint32_t nodes = 0;
+  double cg_vs_dense_max_rel = -1.0;  // -1: dense did not run at this scale
+  double jl_vs_cg_max_rel = -1.0;
+};
+
+double max_relative_difference(const std::vector<double>& a, const std::vector<double>& b) {
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (b[i] == 0.0) continue;
+    max_rel = std::max(max_rel, std::abs(a[i] / b[i] - 1.0));
+  }
+  return max_rel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace splpg;
+
+  util::Flags flags(
+      "Effective-resistance solver benchmark: dense O(n^3) oracle vs sparse "
+      "CG vs the JL sketch at increasing graph sizes, with cross-solver "
+      "agreement checks. Emits BENCH_er.json.");
+  flags.define("nodes", "200,400,800,1600", "comma-separated sweep of graph sizes");
+  flags.define("degree", static_cast<std::int64_t>(8), "mean degree of the synthetic graphs");
+  flags.define("dense-max-nodes", static_cast<std::int64_t>(400),
+               "largest size the O(n^3) dense oracle is attempted at");
+  flags.define("big-edges", static_cast<std::int64_t>(100000),
+               "edge count of the final dense-infeasible graph (0 = skip); CG runs a "
+               "spot-check subset there, JL prices every edge");
+  flags.define("spot-edges", static_cast<std::int64_t>(32),
+               "CG spot-check edges on the --big-edges graph");
+  flags.define("seed", static_cast<std::int64_t>(1), "run seed");
+  flags.define("threads", static_cast<std::int64_t>(1),
+               "ThreadPool width (1 = serial, 0 = hardware); results are bit-identical "
+               "at every setting");
+  flags.define("repeats", static_cast<std::int64_t>(3), "timing repetitions (best-of)");
+  flags.define("er-tolerance", 1e-10, "CG relative-residual target");
+  flags.define("jl-epsilon", 0.25, "JL sketch error knob (auto k = ceil(4 ln n / eps^2))");
+  flags.define("jl-projections", static_cast<std::int64_t>(0),
+               "explicit JL projection count (0 = auto from --jl-epsilon)");
+  flags.define("json", "BENCH_er.json", "output path for machine-readable results");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto sweep = flags.get_int_list("nodes");
+  const auto degree = static_cast<std::uint64_t>(flags.get_int("degree"));
+  const auto dense_max_nodes = static_cast<std::uint32_t>(flags.get_int("dense-max-nodes"));
+  const auto big_edges = static_cast<std::uint64_t>(flags.get_int("big-edges"));
+  const auto spot_edges = static_cast<std::size_t>(flags.get_int("spot-edges"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads"));
+  const auto repeats = static_cast<int>(flags.get_int("repeats"));
+
+  sparsify::ErSolverOptions base_options;
+  base_options.tolerance = flags.get_double("er-tolerance");
+  base_options.jl_epsilon = flags.get_double("jl-epsilon");
+  base_options.jl_projections = static_cast<std::size_t>(flags.get_int("jl-projections"));
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads != 1) pool = std::make_unique<util::ThreadPool>(threads);
+
+  const unsigned hardware = std::max(1U, std::thread::hardware_concurrency());
+  bench::print_title("EFFECTIVE-RESISTANCE SOLVERS — DENSE vs CG vs JL",
+                     "the O(n^3) oracle stops where the sparse solvers keep scaling");
+  std::printf("degree=%llu threads=%zu repeats=%d tol=%g jl_eps=%g hardware_concurrency=%u\n\n",
+              static_cast<unsigned long long>(degree), threads, repeats, base_options.tolerance,
+              base_options.jl_epsilon, hardware);
+
+  std::vector<Row> dense_rows;
+  std::vector<Row> cg_rows;
+  std::vector<Row> jl_rows;
+  std::vector<Agreement> agreements;
+
+  auto run_solver = [&](const graph::CsrGraph& graph, sparsify::ErSolver solver) {
+    sparsify::ErSolverOptions options = base_options;
+    options.solver = solver;
+    return exact_effective_resistance(graph, options, pool.get());
+  };
+  auto time_solver = [&](const graph::CsrGraph& graph, sparsify::ErSolver solver) {
+    sparsify::ErSolverOptions options = base_options;
+    options.solver = solver;
+    return time_best(repeats,
+                     [&] { (void)exact_effective_resistance(graph, options, pool.get()); });
+  };
+
+  std::printf("%8s %10s | %12s %12s %12s | %14s %14s\n", "nodes", "edges", "dense (s)",
+              "cg (s)", "jl (s)", "cg/dense err", "jl/cg err");
+  bench::print_rule();
+
+  for (const std::int64_t n : sweep) {
+    data::SbmParams params;
+    params.num_nodes = static_cast<graph::NodeId>(n);
+    params.num_edges = static_cast<graph::EdgeId>(n) * degree / 2;
+    params.num_communities = std::max<std::uint32_t>(2, static_cast<std::uint32_t>(n / 64));
+    util::Rng rng(seed);
+    const auto graph = data::generate_sbm(params, rng);
+
+    Row dense{params.num_nodes, graph.num_edges(), false, {}};
+    Row cg{params.num_nodes, graph.num_edges(), true, {}};
+    Row jl{params.num_nodes, graph.num_edges(), true, {}};
+    Agreement agreement;
+    agreement.nodes = params.num_nodes;
+
+    const auto cg_values = run_solver(graph, sparsify::ErSolver::kCg);
+    const auto jl_values = run_solver(graph, sparsify::ErSolver::kJl);
+    agreement.jl_vs_cg_max_rel = max_relative_difference(jl_values, cg_values);
+    if (params.num_nodes <= dense_max_nodes) {
+      dense.ran = true;
+      const auto dense_values = run_solver(graph, sparsify::ErSolver::kDense);
+      agreement.cg_vs_dense_max_rel = max_relative_difference(cg_values, dense_values);
+      dense.timing = time_solver(graph, sparsify::ErSolver::kDense);
+    }
+    cg.timing = time_solver(graph, sparsify::ErSolver::kCg);
+    jl.timing = time_solver(graph, sparsify::ErSolver::kJl);
+
+    dense_rows.push_back(dense);
+    cg_rows.push_back(cg);
+    jl_rows.push_back(jl);
+    agreements.push_back(agreement);
+
+    char dense_cell[32];
+    if (dense.ran) {
+      std::snprintf(dense_cell, sizeof dense_cell, "%12.4f", dense.timing.wall_seconds);
+    } else {
+      std::snprintf(dense_cell, sizeof dense_cell, "%12s", "infeasible");
+    }
+    char dense_err[32];
+    if (dense.ran) {
+      std::snprintf(dense_err, sizeof dense_err, "%14.2e", agreement.cg_vs_dense_max_rel);
+    } else {
+      std::snprintf(dense_err, sizeof dense_err, "%14s", "-");
+    }
+    std::printf("%8u %10llu | %s %12.4f %12.4f | %s %14.2e\n", params.num_nodes,
+                static_cast<unsigned long long>(graph.num_edges()), dense_cell,
+                cg.timing.wall_seconds, jl.timing.wall_seconds, dense_err,
+                agreement.jl_vs_cg_max_rel);
+  }
+
+  // ---- the dense-infeasible graph ----
+  Row big_jl;
+  Timing big_spot;
+  double big_spot_max_rel = -1.0;
+  std::size_t big_spot_count = 0;
+  if (big_edges > 0) {
+    data::SbmParams params;
+    params.num_nodes = static_cast<graph::NodeId>(big_edges / 8);
+    params.num_edges = big_edges;
+    params.num_communities = 25;
+    util::Rng rng(seed);
+    const auto graph = data::generate_sbm(params, rng);
+    big_jl = Row{params.num_nodes, graph.num_edges(), true, {}};
+
+    const auto jl_values = run_solver(graph, sparsify::ErSolver::kJl);
+    big_jl.timing = time_solver(graph, sparsify::ErSolver::kJl);
+
+    // CG prices a subset exactly — all-edges CG at this scale is hours of
+    // work, which is exactly why the sketch exists.
+    std::vector<graph::EdgeId> ids;
+    const auto stride = std::max<graph::EdgeId>(1, graph.num_edges() / spot_edges);
+    for (graph::EdgeId e = 0; e < graph.num_edges() && ids.size() < spot_edges; e += stride) {
+      ids.push_back(e);
+    }
+    big_spot_count = ids.size();
+    sparsify::ErSolverOptions cg_options = base_options;
+    cg_options.solver = sparsify::ErSolver::kCg;
+    const auto exact =
+        sparsify::effective_resistance_for_edges(graph, ids, cg_options, pool.get());
+    big_spot = time_best(repeats, [&] {
+      (void)sparsify::effective_resistance_for_edges(graph, ids, cg_options, pool.get());
+    });
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      max_rel = std::max(max_rel, std::abs(jl_values[ids[i]] / exact[i] - 1.0));
+    }
+    big_spot_max_rel = max_rel;
+
+    std::printf("%8u %10llu | %12s %12s %12.4f | %14s %14.2e  (cg spot-check: %zu edges, "
+                "%.4f s)\n",
+                big_jl.nodes, static_cast<unsigned long long>(big_jl.edges), "infeasible",
+                "spot-only", big_jl.timing.wall_seconds, "-", big_spot_max_rel, big_spot_count,
+                big_spot.wall_seconds);
+  }
+
+  std::printf("\nExpected shape: dense wall time grows ~n^3 and stops at the cap; CG and JL\n"
+              "grow with edges; jl/cg max relative error stays within ~2x --jl-epsilon.\n"
+              "cpu/wall ≈ achieved parallelism (this host: %u hardware threads).\n",
+              hardware);
+
+  const std::string json_path = flags.get_string("json");
+  if (!json_path.empty()) {
+    auto write_rows = [](std::ofstream& out, const std::vector<Row>& rows) {
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& row = rows[i];
+        out << "      {\"nodes\": " << row.nodes << ", \"edges\": " << row.edges
+            << ", \"ran\": " << (row.ran ? "true" : "false")
+            << ", \"wall_seconds\": " << row.timing.wall_seconds
+            << ", \"cpu_seconds\": " << row.timing.cpu_seconds << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+      }
+    };
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"er_solver\",\n"
+        << "  \"degree\": " << degree << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"repeats\": " << repeats << ",\n"
+        << "  \"tolerance\": " << base_options.tolerance << ",\n"
+        << "  \"jl_epsilon\": " << base_options.jl_epsilon << ",\n"
+        << "  \"hardware_concurrency\": " << hardware << ",\n"
+        << "  \"sections\": {\n"
+        << "    \"dense\": [\n";
+    write_rows(out, dense_rows);
+    out << "    ],\n    \"cg\": [\n";
+    write_rows(out, cg_rows);
+    out << "    ],\n    \"jl\": [\n";
+    write_rows(out, jl_rows);
+    out << "    ]\n  },\n"
+        << "  \"agreement\": [\n";
+    for (std::size_t i = 0; i < agreements.size(); ++i) {
+      out << "    {\"nodes\": " << agreements[i].nodes
+          << ", \"cg_vs_dense_max_rel\": " << agreements[i].cg_vs_dense_max_rel
+          << ", \"jl_vs_cg_max_rel\": " << agreements[i].jl_vs_cg_max_rel << "}"
+          << (i + 1 < agreements.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+    if (big_edges > 0) {
+      out << ",\n  \"big_graph\": {\"nodes\": " << big_jl.nodes
+          << ", \"edges\": " << big_jl.edges << ", \"dense\": \"infeasible\""
+          << ", \"jl_wall_seconds\": " << big_jl.timing.wall_seconds
+          << ", \"jl_cpu_seconds\": " << big_jl.timing.cpu_seconds
+          << ", \"cg_spot_edges\": " << big_spot_count
+          << ", \"cg_spot_wall_seconds\": " << big_spot.wall_seconds
+          << ", \"jl_vs_cg_spot_max_rel\": " << big_spot_max_rel << "}";
+    }
+    out << "\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

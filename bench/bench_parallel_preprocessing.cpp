@@ -156,13 +156,19 @@ int main(int argc, char** argv) {
 
     Section exact{"exact_effective_resistance"};
     {
-      const auto a = sparsify::exact_effective_resistance(graph);
-      const auto b = sparsify::exact_effective_resistance(graph, &pool);
+      // Pin the dense solver: this section times the O(n^2)/O(n^3) dense
+      // kernels' row-blocking. The sparse CG/JL routes (now the default)
+      // have their own benchmark, bench_er_solver.
+      sparsify::ErSolverOptions dense_options;
+      dense_options.solver = sparsify::ErSolver::kDense;
+      const auto a = sparsify::exact_effective_resistance(graph, dense_options);
+      const auto b = sparsify::exact_effective_resistance(graph, dense_options, &pool);
       exact.bit_identical = std::equal(a.begin(), a.end(), b.begin(), b.end());
-      exact.serial_seconds =
-          time_best(repeats, [&] { (void)sparsify::exact_effective_resistance(graph); });
-      exact.parallel_seconds =
-          time_best(repeats, [&] { (void)sparsify::exact_effective_resistance(graph, &pool); });
+      exact.serial_seconds = time_best(
+          repeats, [&] { (void)sparsify::exact_effective_resistance(graph, dense_options); });
+      exact.parallel_seconds = time_best(repeats, [&] {
+        (void)sparsify::exact_effective_resistance(graph, dense_options, &pool);
+      });
     }
     sections.push_back(exact);
   }

@@ -17,15 +17,23 @@
 #   BENCH_worker.json    bench_worker_parallel — worker-side pools (chunked
 #                        neighbor sampling, row-blocked forward/backward
 #                        kernels, the intra-worker batch pipeline)
+#   BENCH_er.json        bench_er_solver — effective-resistance solvers
+#                        (dense O(n^3) oracle vs sparse CG vs the JL sketch
+#                        at increasing graph sizes, wall + process CPU,
+#                        cross-solver agreement; the final 100k-edge graph
+#                        is dense-infeasible by construction). Override its
+#                        flags via BENCH_ER_FLAGS.
 #
-# Both benchmarks verify that every pooled hot path is bit-identical to its
-# serial counterpart before timing it, and record the host's hardware
-# concurrency — speedups are bounded by the cores actually available.
+# The parallelism benchmarks verify that every pooled hot path is
+# bit-identical to its serial counterpart before timing it, and all record
+# the host's hardware concurrency — speedups are bounded by the cores
+# actually available.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . -G Ninja >/dev/null
-cmake --build build -j --target bench_parallel_preprocessing bench_worker_parallel
+cmake --build build -j --target bench_parallel_preprocessing bench_worker_parallel \
+  bench_er_solver
 
 build/bench/bench_parallel_preprocessing --json=BENCH_parallel.json "$@" \
   | tee bench_parallel_output.txt
@@ -34,4 +42,8 @@ build/bench/bench_parallel_preprocessing --json=BENCH_parallel.json "$@" \
 build/bench/bench_worker_parallel --json=BENCH_worker.json ${BENCH_WORKER_FLAGS:-} \
   | tee bench_worker_output.txt
 
-echo "results written to BENCH_parallel.json and BENCH_worker.json"
+# shellcheck disable=SC2086  # intentional word splitting of the flag string
+build/bench/bench_er_solver --json=BENCH_er.json ${BENCH_ER_FLAGS:-} \
+  | tee bench_er_output.txt
+
+echo "results written to BENCH_parallel.json, BENCH_worker.json, and BENCH_er.json"

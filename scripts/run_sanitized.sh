@@ -6,14 +6,18 @@
 # With no arguments runs the full matrix: ASan and UBSan over the tier-1
 # suite (which includes every `io`-labeled dataset I/O test — the mmap
 # FeatureStore view and the binary parsers are exactly where an
-# out-of-bounds read would live), then TSan over the concurrency-heavy
-# binaries (test_dist, test_trainer, test_util, the ThreadPool-parallel
-# sparsify/eval paths, the io differential/resume suites, whose worker
-# threads read a shared mmap view, and the worker-parallel/pipeline suites
-# — chunked sampling, row-blocked kernels, and the bounded-queue batch
-# pipeline, also sliceable via `ctest -L worker`) — the barrier/
-# elastic-membership/crash-recovery and pool fan-out paths are where a
-# data race would live.
+# out-of-bounds read would live, and the `er`-labeled sparse-solver suite —
+# CSR Laplacian assembly and the CG/JL fan-outs are raw index arithmetic),
+# then TSan over the concurrency-heavy binaries (test_dist, test_trainer,
+# test_util, the ThreadPool-parallel sparsify/eval paths, the io
+# differential/resume suites, whose worker threads read a shared mmap view,
+# the worker-parallel/pipeline suites — chunked sampling, row-blocked
+# kernels, and the bounded-queue batch pipeline, also sliceable via
+# `ctest -L worker` — and the effective-resistance solver suites
+# (`ctest -L er`): pooled spmv, per-edge CG fan-out, and per-projection JL
+# solves all share the Laplacian read-only across pool threads) — the
+# barrier/elastic-membership/crash-recovery and pool fan-out paths are
+# where a data race would live.
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so they never poison the main build/ directory.
@@ -42,7 +46,7 @@ for sanitizer in "${sanitizers[@]}"; do
     # race report from being buried.
     TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir "$dir" --output-on-failure \
-        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient' -j
+        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient|ErSolver|SparseCg|SparseLaplacian' -j
   else
     ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
       ctest --test-dir "$dir" --output-on-failure -j

@@ -204,8 +204,10 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
 
   // ---- master: sparsify (SpLPG only) ----
   if (uses_sparsification(config.method)) {
-    const auto sparsifier = sparsify::make_sparsifier(
-        config.sparsifier, sparsify::SparsifyConfig{config.alpha, config.num_threads});
+    sparsify::SparsifyConfig sparsify_config;
+    sparsify_config.alpha = config.alpha;
+    sparsify_config.num_threads = config.num_threads;
+    const auto sparsifier = sparsify::make_sparsifier(config.sparsifier, sparsify_config);
     std::vector<sparsify::SparsifyStats> stats;
     util::Rng sparsify_rng = util::Rng(config.seed).split("sparsify");
     std::vector<std::uint32_t> assignment(store.graph().num_nodes());

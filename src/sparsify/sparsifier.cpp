@@ -138,7 +138,9 @@ double UniformSparsifier::edge_importance(const Edge& edge,
 }
 
 std::unique_ptr<Sparsifier> make_sparsifier(SparsifierKind kind, double alpha) {
-  return make_sparsifier(kind, SparsifyConfig{alpha, 1});
+  SparsifyConfig config;
+  config.alpha = alpha;
+  return make_sparsifier(kind, config);
 }
 
 std::unique_ptr<Sparsifier> make_sparsifier(SparsifierKind kind, const SparsifyConfig& config) {
