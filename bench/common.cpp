@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <filesystem>
 
 #include "util/logging.hpp"
 
@@ -40,6 +41,10 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
   flags.define("features", "buffered",
                "feature-store backend when --dataset is set: 'buffered' or 'mmap' "
                "(zero-copy; results are bit-identical)");
+  flags.define("storage-faults", false,
+               "inject seeded survivable storage faults (ENOSPC, failed rename) "
+               "into per-run temp-dir checkpoint writes to exercise the "
+               "durability layer; metrics are unchanged");
   if (!flags.parse(argc, argv)) return std::nullopt;
 
   Env env;
@@ -72,6 +77,7 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
     env.partitions.push_back(static_cast<std::uint32_t>(p));
   }
   env.dataset_dir = flags.get_string("dataset");
+  env.storage_faults = flags.get_bool("storage-faults");
   const std::string backend = flags.get_string("features");
   if (backend == "mmap") {
     env.feature_backend = io::FeatureBackend::kMmap;
@@ -124,6 +130,24 @@ core::TrainConfig make_config(const Env& env, core::Method method, std::uint32_t
   // faster, so it is the default here; communication accounting (graph data
   // only) is identical under both.
   config.sync = dist::SyncMode::kGradientAveraging;
+  if (env.storage_faults) {
+    // Survivable write faults only (no torn writes — those simulate machine
+    // death and are the chaos harness's job): the run self-heals, counting
+    // the failures in TrainResult::fault while the metrics stay identical.
+    config.checkpoint_dir =
+        (std::filesystem::temp_directory_path() /
+         ("splpg_bench_ckpt_" + std::to_string(env.seed) + "_" + std::to_string(partitions)))
+            .string();
+    config.keep_checkpoints = 2;
+    io::StorageFault enospc;
+    enospc.kind = io::StorageFaultKind::kEnospc;
+    enospc.path_contains = "state_epoch_";
+    io::StorageFault bad_rename;
+    bad_rename.kind = io::StorageFaultKind::kFailedRename;
+    bad_rename.path_contains = "model_epoch_";
+    bad_rename.skip_matches = 1;
+    config.storage_faults.faults = {enospc, bad_rename};
+  }
   return config;
 }
 

@@ -38,6 +38,12 @@ struct Env {
   /// the directory was saved from.
   std::string dataset_dir;
   io::FeatureBackend feature_backend = io::FeatureBackend::kBuffered;
+  /// --storage-faults: exercise the durability layer during the bench run —
+  /// checkpoints go to a per-run temp directory with keep-last-2 retention
+  /// while a seeded io::StorageFaultPlan injects survivable write faults
+  /// (ENOSPC, failed rename). Metrics are unchanged: checkpoint-write
+  /// failures are self-healing by contract.
+  bool storage_faults = false;
 };
 
 struct EnvDefaults {

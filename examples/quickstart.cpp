@@ -45,6 +45,15 @@ int main(int argc, char** argv) {
                "feature-store backend for --dataset: 'buffered' or 'mmap' "
                "(zero-copy; results are bit-identical)");
   flags.define("format", "binary", "edge format for --export: 'binary' or 'text'");
+  flags.define("checkpoint-dir", "",
+               "write per-epoch checkpoints (model + full train state, "
+               "atomic-rename durable, self-checksummed) to this directory");
+  flags.define("keep-checkpoints", static_cast<std::int64_t>(0),
+               "keep only the newest K checkpoint epochs (0 = keep all)");
+  flags.define("resume", "",
+               "resume source: a state_epoch_<e>.bin path, or 'auto' to scan "
+               "--checkpoint-dir for the newest checkpoint that validates "
+               "(corrupt ones are skipped)");
   if (!flags.parse(argc, argv)) return 1;
 
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed"));
@@ -110,11 +119,29 @@ int main(int argc, char** argv) {
   config.worker_threads = static_cast<std::size_t>(flags.get_int("worker-threads"));
   config.pipeline_batches = static_cast<std::uint32_t>(flags.get_int("pipeline"));
   config.seed = seed;
+  // Durability knobs: on-disk checkpoints (atomic + checksummed), keep-last-K
+  // retention, and crash recovery via --resume=auto.
+  const std::string checkpoint_root = flags.get_string("checkpoint-dir");
+  config.keep_checkpoints = static_cast<std::uint32_t>(flags.get_int("keep-checkpoints"));
+  config.resume_from = flags.get_string("resume");
+  if (config.resume_from == "auto" && checkpoint_root.empty()) {
+    std::fprintf(stderr, "--resume=auto requires --checkpoint-dir\n");
+    return 1;
+  }
 
-  // 4. Train centralized (the accuracy reference), then SpLPG.
+  // 4. Train centralized (the accuracy reference), then SpLPG. Each method
+  //    checkpoints into its own subdirectory so --resume=auto recovers the
+  //    matching run instead of the other method's final state.
   for (const core::Method method : {core::Method::kCentralized, core::Method::kSplpg}) {
     config.method = method;
+    if (!checkpoint_root.empty()) {
+      config.checkpoint_dir = checkpoint_root + "/" + core::to_string(method);
+    }
     const core::TrainResult result = core::train_link_prediction(split, dataset.features, config);
+    if (result.resumed_from_epoch > 0) {
+      std::printf("%-12s  resumed from epoch %u checkpoint\n",
+                  core::to_string(method).c_str(), result.resumed_from_epoch);
+    }
     std::printf(
         "%-12s  Hits@%zu=%.3f  AUC=%.3f  comm/epoch=%.3f MB  sparsify=%.2fs  train=%.1fs\n",
         core::to_string(method).c_str(), result.eval_k, result.test_hits, result.test_auc,

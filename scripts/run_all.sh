@@ -12,6 +12,11 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Durability gate: chaos-recovery matrix (kill mid-checkpoint, corrupt an
+# artifact, auto-resume, require bit-identity). SPLPG_CHAOS_SCENARIOS scales
+# the seeded scenario count beyond the default 20.
+scripts/run_chaos.sh "${SPLPG_CHAOS_SCENARIOS:-20}" 2>&1 | tee chaos_output.txt
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue

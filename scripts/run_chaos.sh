@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Chaos-recovery harness: the durability suite plus a scaled-up run of the
+# kill/corrupt/recover matrix.
+#
+#   scripts/run_chaos.sh [scenarios]
+#
+# Each scenario kills training with a torn checkpoint write at a seeded
+# epoch (the process "dies" mid-commit), flips a seeded bit in a seeded
+# surviving artifact, resumes via TrainConfig::resume_from = "auto", and
+# requires the recovered model to be bit-identical to a run that never
+# crashed. The default 20 scenarios match the CI gate; pass a larger count
+# for a soak run (the scenarios are seeded, so any count replays exactly).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scenarios="${1:-20}"
+
+# Reuse an existing build/ regardless of its generator; configure fresh
+# (Ninja) only when the tree does not exist yet.
+if [ ! -f build/CMakeCache.txt ]; then
+  cmake -B build -G Ninja >/dev/null
+fi
+cmake --build build -j
+
+# The full durability slice: checksum corruption matrix, AtomicFile torn-write
+# sweep, fault-injector determinism, checkpoint GC/manifest/auto-resume.
+ctest --test-dir build -L durability --output-on-failure -j
+
+echo "=== chaos-recovery matrix ($scenarios scenarios) ==="
+SPLPG_CHAOS_SCENARIOS="$scenarios" \
+  ./build/tests/test_durability \
+    --gtest_filter='TrainerDurabilityTest.ChaosRecoveryMatrix'
+
+echo "chaos harness passed ($scenarios scenarios, bit-identical recovery)"

@@ -17,7 +17,10 @@
 # (`ctest -L er`): pooled spmv, per-edge CG fan-out, and per-projection JL
 # solves all share the Laplacian read-only across pool threads) — the
 # barrier/elastic-membership/crash-recovery and pool fan-out paths are
-# where a data race would live.
+# where a data race would live. The trainer-level durability suites
+# (`ctest -L durability` for the whole slice) also run under TSan: torn
+# checkpoint writes and auto-resume exercise the process-global
+# StorageFaultScope and the stop/recovery handshake across worker threads.
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so they never poison the main build/ directory.
@@ -46,7 +49,7 @@ for sanitizer in "${sanitizers[@]}"; do
     # race report from being buried.
     TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir "$dir" --output-on-failure \
-        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient|ErSolver|SparseCg|SparseLaplacian' -j
+        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient|ErSolver|SparseCg|SparseLaplacian|TrainerDurability' -j
   else
     ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
       ctest --test-dir "$dir" --output-on-failure -j

@@ -225,6 +225,16 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
     injector = std::make_unique<dist::FaultInjector>(config.faults, config.seed, num_workers);
   }
 
+  // Storage-plane fault injection: installed process-globally for the run so
+  // every checkpoint write (AtomicFile) and resume read flows through it —
+  // including the ones issued from barrier serial sections on worker threads.
+  std::unique_ptr<io::StorageFaultInjector> storage_injector;
+  if (!config.storage_faults.empty()) {
+    storage_injector =
+        std::make_unique<io::StorageFaultInjector>(config.storage_faults, config.seed);
+  }
+  const io::StorageFaultScope storage_scope(storage_injector.get());
+
   // ---- master: per-worker state ----
   nn::ModelConfig model_config = config.model;
   if (model_config.in_dim == 0) model_config.in_dim = features.dim();
@@ -304,16 +314,38 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
   // state is a pure function of (seed, worker, epoch)).
   std::uint32_t start_epoch = 1;
   if (!config.resume_from.empty()) {
-    std::uint32_t saved_epoch = 0;
-    for (std::uint32_t w = 0; w < num_workers; ++w) {
-      saved_epoch = nn::load_train_state_file(config.resume_from, *replicas[w], *optimizers[w]);
+    std::string resume_path = config.resume_from;
+    if (resume_path == "auto") {
+      // Self-healing recovery: newest checkpoint in checkpoint_dir whose
+      // structure and checksums validate; corrupt ones are skipped
+      // epoch-by-epoch. No valid checkpoint = fresh start, not an error.
+      if (config.checkpoint_dir.empty()) {
+        throw std::invalid_argument(
+            "train_link_prediction: resume_from=\"auto\" requires checkpoint_dir");
+      }
+      std::uint32_t skipped = 0;
+      const auto latest =
+          nn::find_latest_valid_checkpoint(config.checkpoint_dir, &skipped);
+      result.fault.checkpoints_skipped_invalid += skipped;
+      if (skipped > 0) {
+        SPLPG_WARN << "auto-resume skipped " << skipped << " corrupt checkpoint(s) in "
+                   << config.checkpoint_dir;
+      }
+      resume_path = latest.has_value() ? latest->state_file : std::string();
     }
-    if (saved_epoch >= config.epochs) {
-      throw std::invalid_argument("train_link_prediction: resume_from checkpoint is at epoch " +
-                                  std::to_string(saved_epoch) + ", nothing left of the " +
-                                  std::to_string(config.epochs) + " configured epochs");
+    if (!resume_path.empty()) {
+      std::uint32_t saved_epoch = 0;
+      for (std::uint32_t w = 0; w < num_workers; ++w) {
+        saved_epoch = nn::load_train_state_file(resume_path, *replicas[w], *optimizers[w]);
+      }
+      if (saved_epoch >= config.epochs) {
+        throw std::invalid_argument("train_link_prediction: resume_from checkpoint is at epoch " +
+                                    std::to_string(saved_epoch) + ", nothing left of the " +
+                                    std::to_string(config.epochs) + " configured epochs");
+      }
+      start_epoch = saved_epoch + 1;
+      result.resumed_from_epoch = saved_epoch;
     }
-    start_epoch = saved_epoch + 1;
   }
 
   // ---- master: checkpointing ----
@@ -321,19 +353,38 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
   // kept serialized in memory for crash recovery; on-disk copies are written
   // when checkpoint_dir is set. Written only by the master (before spawning)
   // and by barrier serial sections.
+  std::atomic<bool> stop_requested{false};
   std::string checkpoint_buffer;
   auto write_checkpoint = [&](std::uint32_t src, std::uint32_t epoch) {
     std::ostringstream out;
     nn::save_train_state(out, *replicas[src], *optimizers[src], epoch);
     checkpoint_buffer = out.str();
-    if (!config.checkpoint_dir.empty()) {
+    if (config.checkpoint_dir.empty()) return;
+    try {
       std::filesystem::create_directories(config.checkpoint_dir);
-      nn::save_parameters_file(
-          config.checkpoint_dir + "/model_epoch_" + std::to_string(epoch) + ".bin",
-          *replicas[src]);
-      nn::save_train_state_file(
-          config.checkpoint_dir + "/state_epoch_" + std::to_string(epoch) + ".bin",
-          *replicas[src], *optimizers[src], epoch);
+      nn::save_parameters_file(nn::checkpoint_model_file(config.checkpoint_dir, epoch),
+                               *replicas[src]);
+      nn::save_train_state_file(nn::checkpoint_state_file(config.checkpoint_dir, epoch),
+                                *replicas[src], *optimizers[src], epoch);
+      if (config.keep_checkpoints > 0) {
+        (void)nn::gc_checkpoints(config.checkpoint_dir, config.keep_checkpoints);
+      }
+      nn::write_checkpoint_manifest(config.checkpoint_dir);
+    } catch (const io::SimulatedCrash&) {
+      // Simulated machine death: must kill the run, never be healed. The
+      // stop is published here, INSIDE the barrier's serial section, so the
+      // workers released by this exception all see it before starting
+      // another epoch — a dead machine writes no further checkpoints.
+      stop_requested.store(true);
+      throw;
+    } catch (const std::exception& error) {
+      // Self-healing: a failed checkpoint write (full disk, failed rename)
+      // degrades durability, not training — the in-memory checkpoint_buffer
+      // still holds this state for crash recovery, and AtomicFile guarantees
+      // the previous on-disk checkpoint survived intact.
+      ++result.fault.checkpoint_write_failures;
+      SPLPG_WARN << "checkpoint write for epoch " << epoch
+                 << " failed (training continues): " << error.what();
     }
   };
   if (config.checkpoint_every > 0) write_checkpoint(0, start_epoch - 1);
@@ -345,7 +396,6 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
   std::vector<std::exception_ptr> errors(num_workers);
   result.per_worker_comm.assign(num_workers, dist::CommStats{});
   result.per_worker_fault.assign(num_workers, dist::FaultStats{});
-  std::atomic<bool> stop_requested{false};
   std::uint32_t evaluations_since_best = 0;  // serial-section only
   // Which replica the most recent evaluation scored (serial-section only,
   // read by the master after join). After a worker-0 crash the survivors'
@@ -628,11 +678,18 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
     } catch (...) {
       // A real failure (not an injected fault): record it, leave the
       // collectives so survivors cannot deadlock, and request a stop. The
-      // master rethrows after all threads have joined.
+      // master rethrows after all threads have joined. Workers parked for
+      // crash recovery are released too — the recovery serial section may
+      // never run again (e.g. a simulated machine death mid-checkpoint).
       errors[w] = std::current_exception();
       SPLPG_ERROR << "worker " << w << " failed; dropping from collectives";
       stop_requested.store(true);
       context.leave(w);
+      {
+        const std::lock_guard<std::mutex> lock(recovery_mutex);
+        training_done = true;
+      }
+      recovery_cv.notify_all();
     }
   };
 
@@ -655,6 +712,11 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
       result.history.empty()
           ? 0.0
           : result.comm.total_gigabytes() / static_cast<double>(result.history.size());
+  if (storage_injector) {
+    const auto storage_stats = storage_injector->stats();
+    result.fault.storage_write_faults += storage_stats.write_faults();
+    result.fault.storage_read_faults += storage_stats.read_faults();
+  }
   result.train_seconds = total_watch.seconds();
   result.model = replicas[final_eval_worker];
   return result;

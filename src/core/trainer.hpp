@@ -21,6 +21,7 @@
 #include "dist/retry.hpp"
 #include "dist/sync.hpp"
 #include "graph/features.hpp"
+#include "io/storage_fault.hpp"
 #include "nn/model.hpp"
 #include "sampling/edge_split.hpp"
 #include "sampling/negative_sampler.hpp"
@@ -71,17 +72,33 @@ struct TrainConfig {
   /// Optional directory for on-disk checkpoints. Each checkpointed epoch
   /// writes `model_epoch_<e>.bin` (parameters only, nn::save_parameters_file
   /// format — the servable artifact) and `state_epoch_<e>.bin` (full train
-  /// state, nn::save_train_state_file format — the resumable artifact).
-  /// Empty = in-memory only.
+  /// state, nn::save_train_state_file format — the resumable artifact), every
+  /// file through io::AtomicFile (a crash mid-write never leaves a torn file
+  /// under a final name), plus a self-checksummed MANIFEST naming the
+  /// retained epochs. A failed checkpoint write (full disk, failed rename)
+  /// is logged and counted in TrainResult::fault.checkpoint_write_failures;
+  /// training continues. Empty = in-memory only.
   std::string checkpoint_dir;
-  /// Optional path to a `state_epoch_<e>.bin` file: training resumes from
-  /// epoch e + 1 with every replica's parameters and optimizer moments
-  /// restored from it. With replica-identical optimizer state (gradient
-  /// averaging, or a single worker) the resumed run is bit-identical to one
-  /// that never stopped; under model averaging per-worker moments differ and
-  /// resume restores the checkpointed worker's moments everywhere. Empty =
-  /// start from scratch.
+  /// Keep-last-K checkpoint retention for `checkpoint_dir`: after each
+  /// checkpoint, epochs beyond the newest K are deleted (and orphaned
+  /// AtomicFile temporaries swept). 0 = keep every epoch.
+  std::uint32_t keep_checkpoints = 0;
+  /// Optional resume source. A path to a `state_epoch_<e>.bin` file resumes
+  /// from epoch e + 1 with every replica's parameters and optimizer moments
+  /// restored from it. The string "auto" scans `checkpoint_dir` (required)
+  /// for the newest checkpoint that validates — corrupt or truncated ones
+  /// are skipped epoch-by-epoch (counted in
+  /// TrainResult::fault.checkpoints_skipped_invalid) — and starts fresh when
+  /// none does. With replica-identical optimizer state (gradient averaging,
+  /// or a single worker) the resumed run is bit-identical to one that never
+  /// stopped; under model averaging per-worker moments differ and resume
+  /// restores the checkpointed worker's moments everywhere. Empty = start
+  /// from scratch.
   std::string resume_from;
+  /// Deterministic storage fault injection (seeded from `seed`): torn
+  /// checkpoint writes, ENOSPC, failed renames, on-disk bit flips. Installed
+  /// process-globally for the run (io::StorageFaultScope). Default: none.
+  io::StorageFaultPlan storage_faults;
 
   /// Master-side ThreadPool width for the preprocessing and evaluation hot
   /// paths (partition sparsification, evaluation batch scoring). 1 = serial
@@ -143,10 +160,15 @@ struct TrainResult {
   std::vector<dist::CommStats> per_worker_comm;
 
   // Fault outcomes (all zero on a fault-free run): retries, wasted bytes,
-  // degraded batches, crashes, checkpoint recoveries, simulated fault time.
-  // Bit-deterministic in config.seed like everything else.
+  // degraded batches, crashes, checkpoint recoveries, storage faults,
+  // simulated fault time. Bit-deterministic in config.seed like everything
+  // else.
   dist::FaultStats fault;
   std::vector<dist::FaultStats> per_worker_fault;
+
+  /// Epoch the run resumed from (resume_from path or "auto"); 0 = started
+  /// fresh (or resumed from the epoch-0 initial-state checkpoint).
+  std::uint32_t resumed_from_epoch = 0;
 
   // Preprocessing. `sparsify_seconds` is the master's wall-clock spent in
   // sparsify_partitions; `sparsify_cpu_seconds` sums the per-partition thread

@@ -61,6 +61,14 @@ struct FaultStats {
   std::uint64_t degraded_batches = 0;     // batches completed via local fallback
   std::uint64_t crashes = 0;              // injected worker crashes
   std::uint64_t recoveries = 0;           // checkpoint-restored worker rejoins
+
+  // Storage faults (io::StorageFaultInjector outcomes + the trainer's
+  // self-healing around them).
+  std::uint64_t storage_write_faults = 0;        // injected ENOSPC/torn/rename faults
+  std::uint64_t storage_read_faults = 0;         // injected bit flips / short reads
+  std::uint64_t checkpoint_write_failures = 0;   // checkpoint writes that failed (training continued)
+  std::uint64_t checkpoints_skipped_invalid = 0; // corrupt checkpoints skipped by auto-resume
+
   double injected_latency_seconds = 0.0;  // simulated fetch latency (straggler-scaled)
   double backoff_seconds = 0.0;           // simulated retry backoff
 
@@ -72,6 +80,10 @@ struct FaultStats {
     degraded_batches += other.degraded_batches;
     crashes += other.crashes;
     recoveries += other.recoveries;
+    storage_write_faults += other.storage_write_faults;
+    storage_read_faults += other.storage_read_faults;
+    checkpoint_write_failures += other.checkpoint_write_failures;
+    checkpoints_skipped_invalid += other.checkpoints_skipped_invalid;
     injected_latency_seconds += other.injected_latency_seconds;
     backoff_seconds += other.backoff_seconds;
     return *this;

@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) for the binary file
+// formats' per-section checksums.
+//
+// Incremental: feed bytes in any chunking, the digest is the same. The
+// standard check value holds: Crc32::of("123456789", 9) == 0xCBF43926.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace splpg::io {
+
+class Crc32 {
+ public:
+  /// Folds `size` bytes into the running digest. Chunking-independent.
+  Crc32& update(const void* data, std::size_t size) noexcept;
+
+  /// Final (xor-out applied) digest of everything fed so far. Does not
+  /// consume: more update() calls continue the same stream.
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFU; }
+
+  /// One-shot digest of a buffer.
+  [[nodiscard]] static std::uint32_t of(const void* data, std::size_t size) noexcept {
+    return Crc32().update(data, size).value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFU;
+};
+
+}  // namespace splpg::io

@@ -5,7 +5,9 @@
 #include <map>
 #include <sstream>
 
+#include "io/atomic_file.hpp"
 #include "io/edge_list.hpp"
+#include "io/storage_fault.hpp"
 
 namespace splpg::io {
 
@@ -22,8 +24,9 @@ constexpr const char* kLabelsFile = "labels.bin";
 [[noreturn]] void fail(const std::string& message) { throw FormatError(message); }
 
 std::map<std::string, std::string> read_manifest(const std::string& path) {
+  storage_faults_on_read(path);
   std::ifstream in(path);
-  if (!in) fail("dataset: cannot open manifest " + path);
+  if (!in) throw_errno("dataset: cannot open manifest", path);
   std::map<std::string, std::string> manifest;
   std::string line;
   std::uint64_t line_number = 0;
@@ -81,17 +84,16 @@ void save_dataset(const std::string& dir, const data::Dataset& dataset,
     fs::remove(root / kLabelsFile);
   }
 
-  std::ofstream meta((root / kMetaFile).string());
-  if (!meta) fail("dataset: cannot open " + (root / kMetaFile).string() + " for writing");
-  meta << "# SpLPG dataset manifest\n"
-       << "name=" << dataset.name << "\n"
-       << "batch_size=" << dataset.batch_size << "\n"
-       << "num_nodes=" << dataset.graph.num_nodes() << "\n"
-       << "num_edges=" << dataset.graph.num_edges() << "\n"
-       << "feature_dim=" << dataset.features.dim() << "\n"
-       << "edge_format=" << (edge_format == EdgeFormat::kText ? "text" : "binary") << "\n"
-       << "has_labels=" << (dataset.communities.empty() ? 0 : 1) << "\n";
-  if (!meta) fail("dataset: manifest write failed");
+  write_file_atomic((root / kMetaFile).string(), [&](std::ostream& meta) {
+    meta << "# SpLPG dataset manifest\n"
+         << "name=" << dataset.name << "\n"
+         << "batch_size=" << dataset.batch_size << "\n"
+         << "num_nodes=" << dataset.graph.num_nodes() << "\n"
+         << "num_edges=" << dataset.graph.num_edges() << "\n"
+         << "feature_dim=" << dataset.features.dim() << "\n"
+         << "edge_format=" << (edge_format == EdgeFormat::kText ? "text" : "binary") << "\n"
+         << "has_labels=" << (dataset.communities.empty() ? 0 : 1) << "\n";
+  });
 }
 
 data::Dataset load_dataset(const std::string& dir, const DatasetLoadOptions& options) {

@@ -10,6 +10,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/atomic_file.hpp"
+#include "io/crc32.hpp"
+#include "io/storage_fault.hpp"
 #include "util/serialize.hpp"
 
 namespace splpg::io {
@@ -23,7 +26,12 @@ using graph::NodeId;
 namespace {
 
 constexpr std::uint32_t kEdgeMagic = 0x53504745;  // "SPGE"
-constexpr std::uint32_t kEdgeVersion = 1;
+constexpr std::uint32_t kEdgeVersionLegacy = 1;   // pre-checksum layout
+constexpr std::uint32_t kEdgeVersion = 2;         // + payload/header CRC-32
+// v2 header: magic, version, flags, num_nodes (u32 each), num_edges (u64),
+// payload_crc, header_crc (u32 each). The header CRC covers bytes [0, 28).
+constexpr std::size_t kEdgeHeaderBytesV2 = 32;
+constexpr std::size_t kEdgeHeaderBytesV1 = 24;
 constexpr std::uint32_t kFlagWeighted = 1U << 0;
 
 [[noreturn]] void fail(const std::string& message) { throw FormatError(message); }
@@ -108,6 +116,14 @@ std::optional<std::uint64_t> remaining_bytes(std::istream& in) {
   return static_cast<std::uint64_t>(end - here);
 }
 
+/// Rejects bytes past the declared payload, naming the first stray offset.
+void expect_end_of_payload(std::istream& in, std::uint64_t payload_end, const char* format) {
+  if (in.peek() != std::char_traits<char>::eof()) {
+    fail(std::string(format) + ": trailing garbage after the declared payload at offset " +
+         std::to_string(payload_end));
+  }
+}
+
 }  // namespace
 
 CsrGraph read_edge_list_text(std::istream& in, const EdgeListOptions& options) {
@@ -172,9 +188,10 @@ CsrGraph read_edge_list_text(std::istream& in, const EdgeListOptions& options) {
 }
 
 CsrGraph read_edge_list_text_file(const std::string& path, const EdgeListOptions& options) {
+  storage_faults_on_read(path);
   std::ifstream in(path);
-  if (!in) fail("edge list: cannot open " + path);
-  return read_edge_list_text(in, options);
+  if (!in) throw_errno("edge list: cannot open", path);
+  return with_path(path, [&] { return read_edge_list_text(in, options); });
 }
 
 void write_edge_list_text(std::ostream& out, const CsrGraph& graph) {
@@ -196,12 +213,11 @@ void write_edge_list_text(std::ostream& out, const CsrGraph& graph) {
 }
 
 void write_edge_list_text_file(const std::string& path, const CsrGraph& graph) {
-  std::ofstream out(path);
-  if (!out) fail("edge list: cannot open " + path + " for writing");
-  write_edge_list_text(out, graph);
+  write_file_atomic(path, [&](std::ostream& out) { write_edge_list_text(out, graph); });
 }
 
-CsrGraph read_edge_list_binary(std::istream& in, const EdgeListOptions& options) {
+CsrGraph read_edge_list_binary(std::istream& in, const EdgeListOptions& options,
+                               ReadIntegrity* integrity) {
   using util::read_pod;
   std::uint32_t magic = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
@@ -215,17 +231,48 @@ CsrGraph read_edge_list_binary(std::istream& in, const EdgeListOptions& options)
   std::uint32_t flags = 0;
   std::uint32_t num_nodes = 0;
   std::uint64_t num_edges = 0;
+  std::uint32_t payload_crc = 0;
   try {
     version = read_pod<std::uint32_t>(in);
+    if (version != kEdgeVersion && version != kEdgeVersionLegacy) {
+      fail("binary edge list: unsupported version " + std::to_string(version) +
+           " (expected " + std::to_string(kEdgeVersionLegacy) + " or " +
+           std::to_string(kEdgeVersion) + ")");
+    }
     flags = read_pod<std::uint32_t>(in);
     num_nodes = read_pod<std::uint32_t>(in);
     num_edges = read_pod<std::uint64_t>(in);
+    if (version == kEdgeVersion) {
+      payload_crc = read_pod<std::uint32_t>(in);
+      const auto stored_header_crc = read_pod<std::uint32_t>(in);
+      // Reassemble the exact header bytes [0, 28) the writer checksummed.
+      std::ostringstream header;
+      util::write_pod(header, magic);
+      util::write_pod(header, version);
+      util::write_pod(header, flags);
+      util::write_pod(header, num_nodes);
+      util::write_pod(header, num_edges);
+      util::write_pod(header, payload_crc);
+      const std::string header_bytes = header.str();
+      const std::uint32_t computed = Crc32::of(header_bytes.data(), header_bytes.size());
+      if (computed != stored_header_crc) {
+        std::ostringstream hex;
+        hex << std::hex << stored_header_crc << ", computed 0x" << computed;
+        fail("binary edge list: header checksum mismatch at offset " +
+             std::to_string(kEdgeHeaderBytesV2 - sizeof(std::uint32_t)) + " (stored 0x" +
+             hex.str() + ")");
+      }
+    }
+  } catch (const FormatError&) {
+    throw;
   } catch (const std::runtime_error&) {
     fail("binary edge list: truncated header");
   }
-  if (version != kEdgeVersion) {
-    fail("binary edge list: unsupported version " + std::to_string(version) + " (expected " +
-         std::to_string(kEdgeVersion) + ")");
+  const std::uint64_t header_bytes =
+      version == kEdgeVersion ? kEdgeHeaderBytesV2 : kEdgeHeaderBytesV1;
+  if (integrity != nullptr) {
+    integrity->version = version;
+    integrity->checksummed = version == kEdgeVersion;
   }
   if ((flags & ~kFlagWeighted) != 0) {
     std::ostringstream hex;
@@ -245,11 +292,13 @@ CsrGraph read_edge_list_binary(std::istream& in, const EdgeListOptions& options)
          " bytes remain");
   }
 
+  Crc32 crc;
   std::vector<RawEdge> raw(num_edges);
   for (std::uint64_t e = 0; e < num_edges; ++e) {
     NodeId pair[2];
     in.read(reinterpret_cast<char*>(pair), sizeof(pair));
     if (!in) fail("binary edge list: truncated at edge " + std::to_string(e));
+    crc.update(pair, sizeof(pair));
     raw[e].u = pair[0];
     raw[e].v = pair[1];
     raw[e].line = e;  // "line" doubles as the edge index in error messages
@@ -258,26 +307,53 @@ CsrGraph read_edge_list_binary(std::istream& in, const EdgeListOptions& options)
     for (std::uint64_t e = 0; e < num_edges; ++e) {
       in.read(reinterpret_cast<char*>(&raw[e].weight), sizeof(float));
       if (!in) fail("binary edge list: truncated weight array at edge " + std::to_string(e));
+      crc.update(&raw[e].weight, sizeof(float));
     }
   }
+  if (version == kEdgeVersion && crc.value() != payload_crc) {
+    std::ostringstream hex;
+    hex << std::hex << payload_crc << ", computed 0x" << crc.value();
+    fail("binary edge list: payload checksum mismatch over bytes [" +
+         std::to_string(header_bytes) + ", " + std::to_string(header_bytes + payload) +
+         ") (stored 0x" + hex.str() + ")");
+  }
+  expect_end_of_payload(in, header_bytes + payload, "binary edge list");
   EdgeListOptions checked = options;
   checked.expected_nodes = num_nodes;
   return build_checked(num_nodes, std::move(raw), weighted, checked, "binary edge list");
 }
 
-CsrGraph read_edge_list_binary_file(const std::string& path, const EdgeListOptions& options) {
+CsrGraph read_edge_list_binary_file(const std::string& path, const EdgeListOptions& options,
+                                    ReadIntegrity* integrity) {
+  storage_faults_on_read(path);
   std::ifstream in(path, std::ios::binary);
-  if (!in) fail("binary edge list: cannot open " + path);
-  return read_edge_list_binary(in, options);
+  if (!in) throw_errno("binary edge list: cannot open", path);
+  return with_path(path, [&] { return read_edge_list_binary(in, options, integrity); });
 }
 
 void write_edge_list_binary(std::ostream& out, const CsrGraph& graph) {
   using util::write_pod;
-  write_pod(out, kEdgeMagic);
-  write_pod(out, kEdgeVersion);
-  write_pod<std::uint32_t>(out, graph.is_weighted() ? kFlagWeighted : 0);
-  write_pod<std::uint32_t>(out, graph.num_nodes());
-  write_pod<std::uint64_t>(out, graph.num_edges());
+  // First pass: checksum the payload bytes exactly as they will be written.
+  Crc32 crc;
+  for (const auto& [u, v] : graph.edges()) {
+    const NodeId pair[2] = {u, v};
+    crc.update(pair, sizeof(pair));
+  }
+  if (graph.is_weighted()) {
+    crc.update(graph.edge_weights().data(), graph.num_edges() * sizeof(float));
+  }
+
+  std::ostringstream header;
+  write_pod(header, kEdgeMagic);
+  write_pod(header, kEdgeVersion);
+  write_pod<std::uint32_t>(header, graph.is_weighted() ? kFlagWeighted : 0);
+  write_pod<std::uint32_t>(header, graph.num_nodes());
+  write_pod<std::uint64_t>(header, graph.num_edges());
+  write_pod<std::uint32_t>(header, crc.value());
+  const std::string header_bytes = header.str();
+  out.write(header_bytes.data(), static_cast<std::streamsize>(header_bytes.size()));
+  write_pod<std::uint32_t>(out, Crc32::of(header_bytes.data(), header_bytes.size()));
+
   for (const auto& [u, v] : graph.edges()) {
     const NodeId pair[2] = {u, v};
     out.write(reinterpret_cast<const char*>(pair), sizeof(pair));
@@ -290,9 +366,7 @@ void write_edge_list_binary(std::ostream& out, const CsrGraph& graph) {
 }
 
 void write_edge_list_binary_file(const std::string& path, const CsrGraph& graph) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) fail("binary edge list: cannot open " + path + " for writing");
-  write_edge_list_binary(out, graph);
+  write_file_atomic(path, [&](std::ostream& out) { write_edge_list_binary(out, graph); });
 }
 
 }  // namespace splpg::io

@@ -2,30 +2,29 @@
 //
 // Text format: one "u v" (or "u v w" for weighted graphs) pair per line,
 // '#' comment lines and blank lines ignored — the shape OGB and SNAP dumps
-// come in. Binary format: a versioned fixed header (magic "SPGE", version,
-// flags, node count, edge count) followed by the canonical (u < v, sorted,
-// deduplicated) edge array and an optional weight array; this is the format
-// save_dataset writes and the one that round-trips a graph bit-exactly.
+// come in. Binary format (magic "SPGE", version 2): a fixed header (magic,
+// version, flags, node count, edge count, payload CRC-32, header CRC-32)
+// followed by the canonical (u < v, sorted, deduplicated) edge array and an
+// optional weight array; this is the format save_dataset writes and the one
+// that round-trips a graph bit-exactly. Version-1 files (no checksums) still
+// load and are flagged `checksummed = false` via ReadIntegrity.
 //
 // All parsers validate before they build: malformed input (truncated files,
-// bad magic/version, non-numeric tokens, out-of-range node ids, and — in
-// strict mode — self-loops or duplicate edges) raises FormatError with a
-// message naming the offending line/edge, never an assert or garbage reads.
+// checksum mismatches, trailing bytes past the declared payload, bad
+// magic/version, non-numeric tokens, out-of-range node ids, and — in strict
+// mode — self-loops or duplicate edges) raises FormatError with a message
+// naming the offending file, section, and line/edge/offset, never an assert
+// or garbage reads. File-level writers go through io::AtomicFile, so a crash
+// mid-write never leaves a torn file under the final name.
 #pragma once
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
 #include "graph/csr_graph.hpp"
+#include "io/error.hpp"
 
 namespace splpg::io {
-
-/// Raised on any malformed input; the message carries file/line context.
-class FormatError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 struct EdgeListOptions {
   /// Declared node count: ids must lie in [0, expected_nodes). 0 = infer the
@@ -46,10 +45,15 @@ struct EdgeListOptions {
 void write_edge_list_text(std::ostream& out, const graph::CsrGraph& graph);
 void write_edge_list_text_file(const std::string& path, const graph::CsrGraph& graph);
 
+/// Binary readers verify the v2 header/payload checksums; `integrity` (when
+/// non-null) reports the parsed version and whether checksums were verified
+/// (false for v1 files).
 [[nodiscard]] graph::CsrGraph read_edge_list_binary(std::istream& in,
-                                                    const EdgeListOptions& options = {});
+                                                    const EdgeListOptions& options = {},
+                                                    ReadIntegrity* integrity = nullptr);
 [[nodiscard]] graph::CsrGraph read_edge_list_binary_file(const std::string& path,
-                                                         const EdgeListOptions& options = {});
+                                                         const EdgeListOptions& options = {},
+                                                         ReadIntegrity* integrity = nullptr);
 void write_edge_list_binary(std::ostream& out, const graph::CsrGraph& graph);
 void write_edge_list_binary_file(const std::string& path, const graph::CsrGraph& graph);
 

@@ -1,12 +1,21 @@
 // Node-feature and label files.
 //
-// Feature file (magic "SPFT", version 1): a 16-byte header (magic, version,
-// node count, feature dim) followed by the row-major float32 matrix. The
-// payload starts at a fixed, float-aligned offset so the whole file can be
-// mmap'ed and served zero-copy through graph::FeatureStore's view backing.
+// Feature file (magic "SPFT", version 2): a 32-byte header (magic, version,
+// node count, feature dim, payload byte count, payload CRC-32, header CRC-32)
+// followed by the row-major float32 matrix. The payload starts at a fixed,
+// float-aligned offset so the whole file can be mmap'ed and served zero-copy
+// through graph::FeatureStore's view backing — and the mmap path verifies the
+// header, the exact file size, and the payload checksum BEFORE constructing
+// the view, so a truncated file is a FormatError, never a SIGBUS mid-gather.
 //
-// Label file (magic "SPLB", version 1): header (magic, version, count) then
-// one uint32 label per node — the generator's ground-truth communities.
+// Label file (magic "SPLB", version 2): header (magic, version, count,
+// payload CRC-32, header CRC-32) then one uint32 label per node — the
+// generator's ground-truth communities.
+//
+// Version-1 files (no checksums) of both formats still load; callers that
+// pass a ReadIntegrity see them flagged `checksummed = false`. File writers
+// go through io::AtomicFile: a crash mid-write never leaves a torn file
+// under the final name.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,7 @@
 #include <vector>
 
 #include "graph/features.hpp"
+#include "io/error.hpp"
 
 namespace splpg::io {
 
@@ -30,12 +40,17 @@ void write_features_file(const std::string& path, const graph::FeatureStore& fea
 
 /// Loads a feature file. With kMmap the returned store is a zero-copy view
 /// whose keepalive owns the mapping; with kBuffered (or when mapping fails)
-/// it owns a heap copy. Both return bit-identical rows.
-[[nodiscard]] graph::FeatureStore read_features(std::istream& in);
+/// it owns a heap copy. Both return bit-identical rows and verify the same
+/// checksums; `integrity` (when non-null) reports the parsed version and
+/// whether checksums were actually verified (false for v1 files).
+[[nodiscard]] graph::FeatureStore read_features(std::istream& in,
+                                                ReadIntegrity* integrity = nullptr);
 [[nodiscard]] graph::FeatureStore read_features_file(const std::string& path,
-                                                     FeatureBackend backend);
+                                                     FeatureBackend backend,
+                                                     ReadIntegrity* integrity = nullptr);
 
 void write_labels_file(const std::string& path, const std::vector<std::uint32_t>& labels);
-[[nodiscard]] std::vector<std::uint32_t> read_labels_file(const std::string& path);
+[[nodiscard]] std::vector<std::uint32_t> read_labels_file(const std::string& path,
+                                                          ReadIntegrity* integrity = nullptr);
 
 }  // namespace splpg::io

@@ -1,0 +1,148 @@
+#include "io/storage_fault.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace splpg::io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::atomic<StorageFaultInjector*> g_active{nullptr};
+
+}  // namespace
+
+std::string to_string(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kEnospc: return "enospc";
+    case StorageFaultKind::kTornWrite: return "torn-write";
+    case StorageFaultKind::kFailedRename: return "failed-rename";
+    case StorageFaultKind::kBitFlip: return "bit-flip";
+    case StorageFaultKind::kShortRead: return "short-read";
+  }
+  return "unknown";
+}
+
+StorageFaultInjector::StorageFaultInjector(StorageFaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), fired_(plan_.faults.size(), false),
+      rng_(util::Rng(seed).split("storage")) {
+  remaining_skips_.reserve(plan_.faults.size());
+  for (const auto& fault : plan_.faults) remaining_skips_.push_back(fault.skip_matches);
+}
+
+std::uint64_t StorageFaultInjector::resolve_offset(const StorageFault& fault,
+                                                   std::uint64_t size) {
+  if (fault.offset != StorageFault::kRandomOffset) return fault.offset;
+  return size > 0 ? rng_.uniform_u64(size) : 0;
+}
+
+StorageFaultInjector::WriteOutcome StorageFaultInjector::on_write(
+    const std::string& final_path, std::uint64_t size) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  WriteOutcome outcome;
+  outcome.persisted_bytes = size;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const auto& fault = plan_.faults[i];
+    const bool write_kind = fault.kind == StorageFaultKind::kEnospc ||
+                            fault.kind == StorageFaultKind::kTornWrite ||
+                            fault.kind == StorageFaultKind::kFailedRename;
+    if (fired_[i] || !write_kind) continue;
+    if (!fault.path_contains.empty() &&
+        final_path.find(fault.path_contains) == std::string::npos) {
+      continue;
+    }
+    if (remaining_skips_[i] > 0) {
+      --remaining_skips_[i];
+      continue;
+    }
+    fired_[i] = true;
+    switch (fault.kind) {
+      case StorageFaultKind::kEnospc:
+        ++stats_.enospc_failures;
+        outcome.kind = WriteOutcome::Kind::kEnospc;
+        outcome.persisted_bytes = std::min(size, resolve_offset(fault, size));
+        break;
+      case StorageFaultKind::kTornWrite:
+        ++stats_.torn_writes;
+        outcome.kind = WriteOutcome::Kind::kTorn;
+        outcome.persisted_bytes = std::min(size, resolve_offset(fault, size));
+        break;
+      case StorageFaultKind::kFailedRename:
+        ++stats_.failed_renames;
+        outcome.kind = WriteOutcome::Kind::kRenameFails;
+        break;
+      default: break;
+    }
+    return outcome;  // at most one fault per operation
+  }
+  return outcome;
+}
+
+void StorageFaultInjector::on_read(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  const auto file_size = fs::file_size(path, ec);
+  if (ec) return;  // missing file: the reader reports its own open error
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const auto& fault = plan_.faults[i];
+    const bool read_kind = fault.kind == StorageFaultKind::kBitFlip ||
+                           fault.kind == StorageFaultKind::kShortRead;
+    if (fired_[i] || !read_kind) continue;
+    if (!fault.path_contains.empty() &&
+        path.find(fault.path_contains) == std::string::npos) {
+      continue;
+    }
+    if (remaining_skips_[i] > 0) {
+      --remaining_skips_[i];
+      continue;
+    }
+    fired_[i] = true;
+    if (fault.kind == StorageFaultKind::kShortRead) {
+      ++stats_.short_reads;
+      const std::uint64_t cut = std::min<std::uint64_t>(file_size, resolve_offset(fault, file_size));
+      fs::resize_file(path, cut, ec);
+    } else {
+      ++stats_.bit_flips;
+      if (file_size == 0) continue;
+      const std::uint64_t at =
+          std::min<std::uint64_t>(file_size - 1, resolve_offset(fault, file_size));
+      const unsigned bit = static_cast<unsigned>(rng_.uniform_u64(8));
+      std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+      if (!file) continue;
+      file.seekg(static_cast<std::streamoff>(at));
+      char byte = 0;
+      file.get(byte);
+      byte = static_cast<char>(byte ^ static_cast<char>(1U << bit));
+      file.seekp(static_cast<std::streamoff>(at));
+      file.put(byte);
+    }
+    // Keep scanning: several read faults may target the same artifact.
+  }
+}
+
+StorageFaultStats StorageFaultInjector::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+StorageFaultScope::StorageFaultScope(StorageFaultInjector* injector) noexcept
+    : previous_(g_active.exchange(injector, std::memory_order_acq_rel)) {}
+
+StorageFaultScope::~StorageFaultScope() {
+  g_active.store(previous_, std::memory_order_release);
+}
+
+StorageFaultInjector* active_storage_faults() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void storage_faults_on_read(const std::string& path) {
+  if (auto* injector = active_storage_faults(); injector != nullptr) {
+    injector->on_read(path);
+  }
+}
+
+}  // namespace splpg::io

@@ -1,0 +1,159 @@
+// Seeded, deterministic storage fault injection — the io-plane sibling of
+// dist/fault (which covers the compute/network plane).
+//
+// A StorageFaultPlan is a list of one-shot faults. Each fault names the kind
+// of misbehavior, which paths it applies to (substring match), the byte/bit
+// position (or "draw one deterministically from the run seed"), and how many
+// matching operations to let through before firing. The write-side kinds are
+// consulted by io::AtomicFile:
+//
+//   kEnospc       the temp-file write stops after `offset` bytes and fails
+//                 with ENOSPC — the final name is never touched.
+//   kTornWrite    the commit dies between writing the temp file and renaming
+//                 it: the temp is truncated at `offset` and SimulatedCrash is
+//                 thrown. Models the machine dying mid-checkpoint; the
+//                 crash-consistency contract is that the final name still
+//                 holds its previous (complete) contents.
+//   kFailedRename the rename itself fails (EXDEV/EIO style); IoError.
+//
+// The read-side kinds are consulted by every *_file reader before it opens
+// the file, and physically corrupt the on-disk bytes (one-shot), so the
+// checksum verification under test sees exactly what a real flipped bit or
+// truncated file would look like:
+//
+//   kBitFlip      one bit at `offset` (bit index drawn from the seed) flips.
+//   kShortRead    the file is truncated to `offset` bytes.
+//
+// All randomness (kRandomOffset resolution, bit index) comes from
+// Rng(seed).split("storage"), so a plan replays byte-identically.
+//
+// Installation is process-global via StorageFaultScope (not thread_local:
+// the trainer writes checkpoints from barrier serial sections that run on
+// worker threads). Hooks serialize on an internal mutex; the checkpoint
+// write path is single-threaded anyway, so firing order is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/error.hpp"
+#include "util/rng.hpp"
+
+namespace splpg::io {
+
+enum class StorageFaultKind : std::uint32_t {
+  kEnospc,        // write-side: fail the temp write with ENOSPC at `offset`
+  kTornWrite,     // write-side: truncate temp at `offset`, die before rename
+  kFailedRename,  // write-side: the rename into place fails
+  kBitFlip,       // read-side: flip one bit at byte `offset` on disk
+  kShortRead,     // read-side: truncate the file to `offset` bytes on disk
+};
+
+[[nodiscard]] std::string to_string(StorageFaultKind kind);
+
+struct StorageFault {
+  /// Sentinel for `offset`: draw a position uniformly over the file size
+  /// from the injector's seeded stream at fire time.
+  static constexpr std::uint64_t kRandomOffset = ~0ULL;
+
+  StorageFaultKind kind = StorageFaultKind::kBitFlip;
+  /// The fault applies to operations whose path contains this substring
+  /// (empty = every path).
+  std::string path_contains;
+  /// Byte position (write kinds: bytes successfully persisted before the
+  /// failure; read kinds: corruption site). kRandomOffset = seeded draw.
+  std::uint64_t offset = kRandomOffset;
+  /// Number of matching operations to let through unharmed before firing
+  /// (0 = fire on the first match). Each fault fires exactly once.
+  std::uint32_t skip_matches = 0;
+};
+
+struct StorageFaultPlan {
+  std::vector<StorageFault> faults;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+};
+
+/// Fired-fault counts, by kind (read them off the injector after a run).
+struct StorageFaultStats {
+  std::uint64_t enospc_failures = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t failed_renames = 0;
+  std::uint64_t bit_flips = 0;
+  std::uint64_t short_reads = 0;
+
+  [[nodiscard]] std::uint64_t write_faults() const noexcept {
+    return enospc_failures + torn_writes + failed_renames;
+  }
+  [[nodiscard]] std::uint64_t read_faults() const noexcept {
+    return bit_flips + short_reads;
+  }
+};
+
+/// Thrown by a torn write to simulate the process dying mid-commit. NOT an
+/// IoError on purpose: recovery code that swallows checkpoint I/O failures
+/// must never swallow a simulated machine death, or the chaos harness would
+/// be testing nothing.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class StorageFaultInjector {
+ public:
+  StorageFaultInjector(StorageFaultPlan plan, std::uint64_t seed);
+
+  /// Write-side hook (AtomicFile): called with the final path and the full
+  /// buffered contents length before anything touches the disk. Returns the
+  /// number of bytes the temp write should persist (== `size` when no fault
+  /// fires) and which failure to raise after persisting them.
+  struct WriteOutcome {
+    enum class Kind { kNone, kEnospc, kTorn, kRenameFails } kind = Kind::kNone;
+    std::uint64_t persisted_bytes = 0;
+  };
+  [[nodiscard]] WriteOutcome on_write(const std::string& final_path, std::uint64_t size);
+
+  /// Read-side hook: called by *_file readers before opening `path`. Applies
+  /// any due bit flip / truncation to the on-disk file (no-op if the file
+  /// does not exist).
+  void on_read(const std::string& path);
+
+  [[nodiscard]] StorageFaultStats stats() const;
+
+ private:
+  [[nodiscard]] std::uint64_t resolve_offset(const StorageFault& fault, std::uint64_t size);
+
+  mutable std::mutex mutex_;
+  StorageFaultPlan plan_;
+  std::vector<bool> fired_;
+  std::vector<std::uint32_t> remaining_skips_;
+  util::Rng rng_;
+  StorageFaultStats stats_;
+};
+
+/// Installs `injector` as the process-global storage fault source for the
+/// scope's lifetime (nullptr = explicitly none). Scopes nest; the innermost
+/// wins. Construction/destruction must happen on one thread at a time (the
+/// trainer installs at most one per run).
+class StorageFaultScope {
+ public:
+  explicit StorageFaultScope(StorageFaultInjector* injector) noexcept;
+  ~StorageFaultScope();
+  StorageFaultScope(const StorageFaultScope&) = delete;
+  StorageFaultScope& operator=(const StorageFaultScope&) = delete;
+
+ private:
+  StorageFaultInjector* previous_;
+};
+
+/// The innermost installed injector, or nullptr. Consulted by AtomicFile and
+/// the *_file readers.
+[[nodiscard]] StorageFaultInjector* active_storage_faults() noexcept;
+
+/// Read-side hook entry point for *_file readers: applies due read faults to
+/// `path` when an injector is installed, else no-op.
+void storage_faults_on_read(const std::string& path);
+
+}  // namespace splpg::io

@@ -1,72 +1,370 @@
 #include "nn/checkpoint.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "io/atomic_file.hpp"
+#include "io/crc32.hpp"
+#include "io/storage_fault.hpp"
 #include "util/serialize.hpp"
 
 namespace splpg::nn {
 
+namespace fs = std::filesystem;
+
 namespace {
-constexpr std::uint32_t kMagic = 0x53504C4D;       // "SPLM"
+
+// Parameter section. The legacy "SPLM" layout (magic, count, shapes + data,
+// no checksums) is still readable; new sections are written as "SPM2" with a
+// checksummed header + payload. The magic changed (instead of a version
+// bump) because v1 has no version field — the byte after the magic is
+// already the parameter count.
+constexpr std::uint32_t kMagicLegacy = 0x53504C4D;  // "SPLM"
+constexpr std::uint32_t kMagic = 0x53504D32;        // "SPM2"
+
+// Train state: magic + version came first since v1, so the magic is stable.
 constexpr std::uint32_t kStateMagic = 0x5350434B;  // "SPCK"
-constexpr std::uint32_t kStateVersion = 1;
+constexpr std::uint32_t kStateVersionLegacy = 1;
+constexpr std::uint32_t kStateVersion = 2;
+
+// Optimizer-section magics (owned by nn/optimizer.cpp; the structural walker
+// below needs to recognize both generations).
+constexpr std::uint32_t kOptMagicLegacy = 0x53504F53;  // "SPOS"
+constexpr std::uint32_t kOptMagic = 0x53504F32;        // "SPO2"
+
+constexpr const char* kManifestFile = "MANIFEST";
+constexpr const char* kStatePrefix = "state_epoch_";
+constexpr const char* kModelPrefix = "model_epoch_";
+
+[[noreturn]] void fail(const std::string& message) { throw io::FormatError(message); }
+
+void check_crc(std::uint32_t stored, std::uint32_t computed, const char* what,
+               std::uint64_t offset) {
+  if (stored == computed) return;
+  std::ostringstream hex;
+  hex << std::hex << stored << ", computed 0x" << computed;
+  fail(std::string(what) + " checksum mismatch at offset " + std::to_string(offset) +
+       " (stored 0x" + hex.str() + ")");
 }
+
+struct ParameterSectionHeader {
+  std::uint32_t magic = 0;
+  std::uint64_t count = 0;
+  std::uint64_t payload_bytes = 0;  // v2 only
+  std::uint32_t payload_crc = 0;    // v2 only
+
+  [[nodiscard]] bool checksummed() const noexcept { return magic == kMagic; }
+};
+
+ParameterSectionHeader read_parameter_header(std::istream& in) {
+  using util::read_pod;
+  ParameterSectionHeader header;
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in) fail("load_parameters: truncated header (no magic)");
+  if (magic != kMagic && magic != kMagicLegacy) {
+    fail("load_parameters: bad magic (not an SPLM parameter section)");
+  }
+  header.magic = magic;
+  try {
+    header.count = read_pod<std::uint64_t>(in);
+    if (magic == kMagic) {
+      header.payload_bytes = read_pod<std::uint64_t>(in);
+      header.payload_crc = read_pod<std::uint32_t>(in);
+      const auto stored_header_crc = read_pod<std::uint32_t>(in);
+      std::ostringstream bytes;
+      util::write_pod(bytes, magic);
+      util::write_pod(bytes, header.count);
+      util::write_pod(bytes, header.payload_bytes);
+      util::write_pod(bytes, header.payload_crc);
+      const std::string head = bytes.str();
+      check_crc(stored_header_crc, io::Crc32::of(head.data(), head.size()),
+                "load_parameters: parameter-section header", head.size());
+    }
+  } catch (const io::FormatError&) {
+    throw;
+  } catch (const std::runtime_error&) {
+    fail("load_parameters: truncated header");
+  }
+  return header;
+}
+
+std::string read_verified_payload(std::istream& in, const ParameterSectionHeader& header,
+                                  const char* who) {
+  std::string body(header.payload_bytes, '\0');
+  in.read(body.data(), static_cast<std::streamsize>(header.payload_bytes));
+  if (static_cast<std::uint64_t>(in.gcount()) != header.payload_bytes) {
+    fail(std::string(who) + ": truncated — header declares " +
+         std::to_string(header.payload_bytes) + " payload bytes");
+  }
+  check_crc(header.payload_crc, io::Crc32::of(body.data(), body.size()),
+            (std::string(who) + ": payload").c_str(), 28);
+  return body;
+}
+
+/// Reads one shape-prefixed matrix into `destination`, enforcing the
+/// destination's shape (the state_dict contract).
+void read_matrix_data(std::istream& in, tensor::Matrix& destination, const char* who) {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  try {
+    rows = util::read_pod<std::uint64_t>(in);
+    cols = util::read_pod<std::uint64_t>(in);
+  } catch (const std::runtime_error&) {
+    fail(std::string(who) + ": truncated shape header");
+  }
+  if (rows != destination.rows() || cols != destination.cols()) {
+    throw std::invalid_argument(std::string(who) + ": shape mismatch");
+  }
+  auto data = destination.data();
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in) fail(std::string(who) + ": unexpected end of stream");
+}
+
+// ---- module-free structural walkers (validate_train_state_file) ----
+
+void skip_bytes(std::istream& in, std::uint64_t bytes, const char* what) {
+  in.ignore(static_cast<std::streamsize>(bytes));
+  if (static_cast<std::uint64_t>(in.gcount()) != bytes) {
+    fail(std::string("validate_train_state: truncated ") + what);
+  }
+}
+
+std::uint64_t checked_matrix_bytes(std::uint64_t rows, std::uint64_t cols) {
+  if (rows != 0 && cols > (UINT64_MAX / sizeof(float)) / rows) {
+    fail("validate_train_state: implausible matrix shape " + std::to_string(rows) + "x" +
+         std::to_string(cols));
+  }
+  return rows * cols * sizeof(float);
+}
+
+/// Walks `count` shape-prefixed matrices of `in`, validating structure only.
+void walk_matrices(std::istream& in, std::uint64_t count, const char* what) {
+  using util::read_pod;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    try {
+      rows = read_pod<std::uint64_t>(in);
+      cols = read_pod<std::uint64_t>(in);
+    } catch (const std::runtime_error&) {
+      fail(std::string("validate_train_state: truncated ") + what + " shape header");
+    }
+    skip_bytes(in, checked_matrix_bytes(rows, cols), what);
+  }
+}
+
+void walk_parameter_section(std::istream& in, bool& checksummed) {
+  const ParameterSectionHeader header = read_parameter_header(in);
+  checksummed = header.checksummed();
+  if (header.checksummed()) {
+    const std::string body = read_verified_payload(in, header, "validate_train_state");
+    std::istringstream verified(body);
+    walk_matrices(verified, header.count, "parameter");
+    if (verified.peek() != std::char_traits<char>::eof()) {
+      fail("validate_train_state: parameter payload longer than its shapes declare");
+    }
+  } else {
+    walk_matrices(in, header.count, "parameter");
+  }
+}
+
+void walk_optimizer_section(std::istream& in, bool& checksummed) {
+  using util::read_pod;
+  if (in.peek() == std::char_traits<char>::eof()) return;  // stateless optimizer
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in) fail("validate_train_state: truncated optimizer section");
+  if (magic == kOptMagicLegacy) {
+    checksummed = false;
+    try {
+      (void)read_pod<std::uint64_t>(in);  // t
+      const auto count = read_pod<std::uint64_t>(in);
+      walk_matrices(in, 2 * count, "moment");
+    } catch (const io::FormatError&) {
+      throw;
+    } catch (const std::runtime_error&) {
+      fail("validate_train_state: truncated optimizer section");
+    }
+    return;
+  }
+  if (magic != kOptMagic) {
+    fail("validate_train_state: bad optimizer-section magic");
+  }
+  try {
+    const auto t = read_pod<std::uint64_t>(in);
+    const auto count = read_pod<std::uint64_t>(in);
+    const auto payload_bytes = read_pod<std::uint64_t>(in);
+    const auto payload_crc = read_pod<std::uint32_t>(in);
+    const auto stored_header_crc = read_pod<std::uint32_t>(in);
+    std::ostringstream bytes;
+    util::write_pod(bytes, magic);
+    util::write_pod(bytes, t);
+    util::write_pod(bytes, count);
+    util::write_pod(bytes, payload_bytes);
+    util::write_pod(bytes, payload_crc);
+    const std::string head = bytes.str();
+    check_crc(stored_header_crc, io::Crc32::of(head.data(), head.size()),
+              "validate_train_state: optimizer-section header", head.size());
+    std::string body(payload_bytes, '\0');
+    in.read(body.data(), static_cast<std::streamsize>(payload_bytes));
+    if (static_cast<std::uint64_t>(in.gcount()) != payload_bytes) {
+      fail("validate_train_state: truncated — optimizer section declares " +
+           std::to_string(payload_bytes) + " payload bytes");
+    }
+    check_crc(payload_crc, io::Crc32::of(body.data(), body.size()),
+              "validate_train_state: optimizer payload", head.size());
+    std::istringstream verified(body);
+    walk_matrices(verified, 2 * count, "moment");
+    if (verified.peek() != std::char_traits<char>::eof()) {
+      fail("validate_train_state: optimizer payload longer than its shapes declare");
+    }
+  } catch (const io::FormatError&) {
+    throw;
+  } catch (const std::runtime_error&) {
+    fail("validate_train_state: truncated optimizer section");
+  }
+}
+
+struct StateHeader {
+  std::uint32_t version = 0;
+  std::uint32_t epoch = 0;
+};
+
+StateHeader read_state_header(std::istream& in, const char* who) {
+  using util::read_pod;
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kStateMagic) {
+    fail(std::string(who) + ": bad magic (not an SPCK train state)");
+  }
+  StateHeader header;
+  try {
+    header.version = read_pod<std::uint32_t>(in);
+    if (header.version != kStateVersion && header.version != kStateVersionLegacy) {
+      fail(std::string(who) + ": unsupported version " + std::to_string(header.version));
+    }
+    header.epoch = read_pod<std::uint32_t>(in);
+    if (header.version == kStateVersion) {
+      const auto stored_header_crc = read_pod<std::uint32_t>(in);
+      std::ostringstream bytes;
+      util::write_pod(bytes, magic);
+      util::write_pod(bytes, header.version);
+      util::write_pod(bytes, header.epoch);
+      const std::string head = bytes.str();
+      check_crc(stored_header_crc, io::Crc32::of(head.data(), head.size()),
+                (std::string(who) + ": train-state header").c_str(), head.size());
+    }
+  } catch (const io::FormatError&) {
+    throw;
+  } catch (const std::runtime_error&) {
+    fail(std::string(who) + ": truncated header");
+  }
+  return header;
+}
+
+void expect_file_end(std::istream& in, const char* who) {
+  if (in.peek() != std::char_traits<char>::eof()) {
+    fail(std::string(who) + ": trailing garbage after the declared contents");
+  }
+}
+
+/// Parses the epoch out of `<prefix><digits>.bin`; nullopt for other names.
+std::optional<std::uint32_t> epoch_of(const std::string& filename, const char* prefix) {
+  const std::string_view name(filename);
+  const std::string_view pre(prefix);
+  if (name.size() <= pre.size() + 4 || name.substr(0, pre.size()) != pre ||
+      name.substr(name.size() - 4) != ".bin") {
+    return std::nullopt;
+  }
+  const std::string_view digits = name.substr(pre.size(), name.size() - pre.size() - 4);
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > UINT32_MAX) return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
 
 void save_parameters(std::ostream& out, const Module& module) {
   using util::write_pod;
-  write_pod(out, kMagic);
-  write_pod<std::uint64_t>(out, module.parameters().size());
+  std::ostringstream payload;
   for (const auto& p : module.parameters()) {
-    write_pod<std::uint64_t>(out, p.value().rows());
-    write_pod<std::uint64_t>(out, p.value().cols());
+    write_pod<std::uint64_t>(payload, p.value().rows());
+    write_pod<std::uint64_t>(payload, p.value().cols());
     const auto data = p.value().data();
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size() * sizeof(float)));
+    payload.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size() * sizeof(float)));
   }
+  const std::string body = payload.str();
+  std::ostringstream header;
+  write_pod(header, kMagic);
+  write_pod<std::uint64_t>(header, module.parameters().size());
+  write_pod<std::uint64_t>(header, body.size());
+  write_pod<std::uint32_t>(header, io::Crc32::of(body.data(), body.size()));
+  const std::string head = header.str();
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  write_pod<std::uint32_t>(out, io::Crc32::of(head.data(), head.size()));
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
   if (!out) throw std::runtime_error("save_parameters: write failed");
 }
 
 void save_parameters_file(const std::string& path, const Module& module) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_parameters_file: cannot open " + path);
-  save_parameters(out, module);
+  io::write_file_atomic(path, [&](std::ostream& out) { save_parameters(out, module); });
 }
 
-void load_parameters(std::istream& in, Module& module) {
-  using util::read_pod;
-  if (read_pod<std::uint32_t>(in) != kMagic) {
-    throw std::runtime_error("load_parameters: bad magic");
+void load_parameters(std::istream& in, Module& module, io::ReadIntegrity* integrity) {
+  const ParameterSectionHeader header = read_parameter_header(in);
+  if (integrity != nullptr) {
+    integrity->version = header.checksummed() ? 2 : 1;
+    integrity->checksummed = header.checksummed();
   }
-  const auto count = read_pod<std::uint64_t>(in);
-  if (count != module.parameters().size()) {
+  if (header.count != module.parameters().size()) {
     throw std::invalid_argument("load_parameters: parameter count mismatch");
   }
-  for (auto& p : module.parameters()) {
-    const auto rows = read_pod<std::uint64_t>(in);
-    const auto cols = read_pod<std::uint64_t>(in);
-    if (rows != p.value().rows() || cols != p.value().cols()) {
-      throw std::invalid_argument("load_parameters: shape mismatch");
+  if (header.checksummed()) {
+    // Verify the whole payload BEFORE interpreting any of it: a flipped bit
+    // reports as a checksum mismatch, never as a bogus shape error.
+    const std::string body = read_verified_payload(in, header, "load_parameters");
+    std::istringstream verified(body);
+    for (auto& p : module.parameters()) {
+      read_matrix_data(verified, p.mutable_value(), "load_parameters");
     }
-    auto data = p.mutable_value().data();
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in) throw std::runtime_error("load_parameters: unexpected end of stream");
+  } else {
+    for (auto& p : module.parameters()) {
+      read_matrix_data(in, p.mutable_value(), "load_parameters");
+    }
   }
 }
 
-void load_parameters_file(const std::string& path, Module& module) {
+void load_parameters_file(const std::string& path, Module& module,
+                          io::ReadIntegrity* integrity) {
+  io::storage_faults_on_read(path);
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_parameters_file: cannot open " + path);
-  load_parameters(in, module);
+  if (!in) io::throw_errno("load_parameters_file: cannot open", path);
+  io::with_path(path, [&] {
+    load_parameters(in, module, integrity);
+    expect_file_end(in, "load_parameters_file");
+  });
 }
 
 void save_train_state(std::ostream& out, const Module& module, const Optimizer& optimizer,
                       std::uint32_t epoch) {
   using util::write_pod;
-  write_pod(out, kStateMagic);
-  write_pod(out, kStateVersion);
-  write_pod(out, epoch);
+  std::ostringstream header;
+  write_pod(header, kStateMagic);
+  write_pod(header, kStateVersion);
+  write_pod(header, epoch);
+  const std::string head = header.str();
+  out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  write_pod<std::uint32_t>(out, io::Crc32::of(head.data(), head.size()));
   save_parameters(out, module);
   optimizer.save_state(out);
   if (!out) throw std::runtime_error("save_train_state: write failed");
@@ -74,31 +372,192 @@ void save_train_state(std::ostream& out, const Module& module, const Optimizer& 
 
 void save_train_state_file(const std::string& path, const Module& module,
                            const Optimizer& optimizer, std::uint32_t epoch) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_train_state_file: cannot open " + path);
-  save_train_state(out, module, optimizer, epoch);
+  io::write_file_atomic(
+      path, [&](std::ostream& out) { save_train_state(out, module, optimizer, epoch); });
 }
 
-std::uint32_t load_train_state(std::istream& in, Module& module, Optimizer& optimizer) {
-  using util::read_pod;
-  if (read_pod<std::uint32_t>(in) != kStateMagic) {
-    throw std::runtime_error("load_train_state: bad magic (not an SPCK train state)");
-  }
-  if (const auto version = read_pod<std::uint32_t>(in); version != kStateVersion) {
-    throw std::runtime_error("load_train_state: unsupported version " +
-                             std::to_string(version));
-  }
-  const auto epoch = read_pod<std::uint32_t>(in);
-  load_parameters(in, module);
+std::uint32_t load_train_state(std::istream& in, Module& module, Optimizer& optimizer,
+                               io::ReadIntegrity* integrity) {
+  const StateHeader header = read_state_header(in, "load_train_state");
+  io::ReadIntegrity params;
+  load_parameters(in, module, &params);
   optimizer.load_state(in);
-  return epoch;
+  if (integrity != nullptr) {
+    integrity->version = header.version;
+    integrity->checksummed = header.version == kStateVersion && params.checksummed;
+  }
+  return header.epoch;
 }
 
 std::uint32_t load_train_state_file(const std::string& path, Module& module,
-                                    Optimizer& optimizer) {
+                                    Optimizer& optimizer, io::ReadIntegrity* integrity) {
+  io::storage_faults_on_read(path);
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("load_train_state_file: cannot open " + path);
-  return load_train_state(in, module, optimizer);
+  if (!in) io::throw_errno("load_train_state_file: cannot open", path);
+  return io::with_path(path, [&] {
+    const std::uint32_t epoch = load_train_state(in, module, optimizer, integrity);
+    expect_file_end(in, "load_train_state_file");
+    return epoch;
+  });
+}
+
+// ---- checkpoint directories ----
+
+std::string checkpoint_model_file(const std::string& dir, std::uint32_t epoch) {
+  return (fs::path(dir) / (kModelPrefix + std::to_string(epoch) + ".bin")).string();
+}
+
+std::string checkpoint_state_file(const std::string& dir, std::uint32_t epoch) {
+  return (fs::path(dir) / (kStatePrefix + std::to_string(epoch) + ".bin")).string();
+}
+
+std::vector<CheckpointEntry> list_checkpoints(const std::string& dir) {
+  std::vector<CheckpointEntry> entries;
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(dir, ec)) {
+    if (!item.is_regular_file()) continue;
+    const auto epoch = epoch_of(item.path().filename().string(), kStatePrefix);
+    if (!epoch.has_value()) continue;
+    CheckpointEntry entry;
+    entry.epoch = *epoch;
+    entry.state_file = item.path().string();
+    entry.model_file = checkpoint_model_file(dir, *epoch);
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CheckpointEntry& a, const CheckpointEntry& b) { return a.epoch > b.epoch; });
+  return entries;
+}
+
+std::uint32_t validate_train_state_file(const std::string& path) {
+  io::storage_faults_on_read(path);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io::throw_errno("validate_train_state: cannot open", path);
+  return io::with_path(path, [&] {
+    const StateHeader header = read_state_header(in, "validate_train_state");
+    bool checksummed = header.version == kStateVersion;
+    walk_parameter_section(in, checksummed);
+    walk_optimizer_section(in, checksummed);
+    expect_file_end(in, "validate_train_state");
+    return header.epoch;
+  });
+}
+
+std::optional<CheckpointEntry> find_latest_valid_checkpoint(const std::string& dir,
+                                                            std::uint32_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  for (const auto& entry : list_checkpoints(dir)) {
+    try {
+      (void)validate_train_state_file(entry.state_file);
+      return entry;
+    } catch (const std::exception&) {
+      // Corrupt, truncated, or unreadable: recovery falls back to the next
+      // older checkpoint instead of dying on the newest one.
+      if (skipped != nullptr) ++*skipped;
+    }
+  }
+  return std::nullopt;
+}
+
+void write_checkpoint_manifest(const std::string& dir) {
+  std::ostringstream body;
+  body << "# SpLPG checkpoint manifest (advisory; the directory scan is ground truth)\n";
+  const auto entries = list_checkpoints(dir);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {  // oldest first
+    body << "epoch=" << it->epoch << " state=" << fs::path(it->state_file).filename().string()
+         << " model=" << fs::path(it->model_file).filename().string() << "\n";
+  }
+  const std::string text = body.str();
+  std::ostringstream crc;
+  crc << "crc=0x" << std::hex << io::Crc32::of(text.data(), text.size()) << "\n";
+  io::write_file_atomic((fs::path(dir) / kManifestFile).string(),
+                        [&](std::ostream& out) { out << text << crc.str(); });
+}
+
+std::vector<CheckpointEntry> read_checkpoint_manifest(const std::string& dir) {
+  std::ifstream in((fs::path(dir) / kManifestFile).string());
+  if (!in) return {};
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const auto crc_pos = text.rfind("crc=0x");
+  if (crc_pos == std::string::npos) return {};
+  const std::string body = text.substr(0, crc_pos);
+  std::uint32_t stored = 0;
+  try {
+    stored = static_cast<std::uint32_t>(
+        std::stoul(text.substr(crc_pos + 6), nullptr, 16));
+  } catch (const std::exception&) {
+    return {};
+  }
+  if (stored != io::Crc32::of(body.data(), body.size())) return {};
+  std::vector<CheckpointEntry> entries;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    CheckpointEntry entry;
+    std::istringstream fields(line);
+    std::string token;
+    bool have_epoch = false;
+    while (fields >> token) {
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      try {
+        if (key == "epoch") {
+          entry.epoch = static_cast<std::uint32_t>(std::stoul(value));
+          have_epoch = true;
+        } else if (key == "state") {
+          entry.state_file = (fs::path(dir) / value).string();
+        } else if (key == "model") {
+          entry.model_file = (fs::path(dir) / value).string();
+        }
+      } catch (const std::exception&) {
+        return {};
+      }
+    }
+    if (have_epoch) entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CheckpointEntry& a, const CheckpointEntry& b) { return a.epoch > b.epoch; });
+  return entries;
+}
+
+std::size_t gc_checkpoints(const std::string& dir, std::uint32_t keep_last) {
+  std::size_t removed = 0;
+  std::error_code ec;
+  // Epochs present as either artifact, newest first.
+  std::vector<std::uint32_t> epochs;
+  std::vector<fs::path> temps;
+  for (const auto& item : fs::directory_iterator(dir, ec)) {
+    if (!item.is_regular_file()) continue;
+    const std::string name = item.path().filename().string();
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      temps.push_back(item.path());
+      continue;
+    }
+    for (const char* prefix : {kStatePrefix, kModelPrefix}) {
+      if (const auto epoch = epoch_of(name, prefix); epoch.has_value()) {
+        epochs.push_back(*epoch);
+        break;
+      }
+    }
+  }
+  // Orphaned AtomicFile temporaries are wreckage from an interrupted write;
+  // the completed artifact (if any) lives under the final name.
+  for (const auto& temp : temps) {
+    if (fs::remove(temp, ec)) ++removed;
+  }
+  if (keep_last == 0) return removed;
+  std::sort(epochs.begin(), epochs.end(), std::greater<>());
+  epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+  for (std::size_t i = keep_last; i < epochs.size(); ++i) {
+    for (const auto& path : {checkpoint_state_file(dir, epochs[i]),
+                             checkpoint_model_file(dir, epochs[i])}) {
+      if (fs::remove(path, ec)) ++removed;
+    }
+  }
+  return removed;
 }
 
 }  // namespace splpg::nn
