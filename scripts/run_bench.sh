@@ -23,6 +23,11 @@
 #                        cross-solver agreement; the final 100k-edge graph
 #                        is dense-infeasible by construction). Override its
 #                        flags via BENCH_ER_FLAGS.
+#   BENCH_kernels.json   bench_kernels — the Vec kernel engine: per-backend
+#                        (scalar/sse2/avx2/avx512, as supported by the host
+#                        CPU) throughput of every tensor hot-path kernel plus
+#                        a GEMM composite, with speedup-vs-scalar per kernel.
+#                        Override its flags via BENCH_KERNELS_FLAGS.
 #
 # The parallelism benchmarks verify that every pooled hot path is
 # bit-identical to its serial counterpart before timing it, and all record
@@ -33,7 +38,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j --target bench_parallel_preprocessing bench_worker_parallel \
-  bench_er_solver
+  bench_er_solver bench_kernels
 
 build/bench/bench_parallel_preprocessing --json=BENCH_parallel.json "$@" \
   | tee bench_parallel_output.txt
@@ -46,4 +51,9 @@ build/bench/bench_worker_parallel --json=BENCH_worker.json ${BENCH_WORKER_FLAGS:
 build/bench/bench_er_solver --json=BENCH_er.json ${BENCH_ER_FLAGS:-} \
   | tee bench_er_output.txt
 
-echo "results written to BENCH_parallel.json, BENCH_worker.json, and BENCH_er.json"
+# shellcheck disable=SC2086  # intentional word splitting of the flag string
+build/bench/bench_kernels --json=BENCH_kernels.json ${BENCH_KERNELS_FLAGS:-} \
+  | tee bench_kernels_output.txt
+
+echo "results written to BENCH_parallel.json, BENCH_worker.json, BENCH_er.json," \
+  "and BENCH_kernels.json"

@@ -22,6 +22,12 @@
 # checkpoint writes and auto-resume exercise the process-global
 # StorageFaultScope and the stop/recovery handshake across worker threads.
 #
+# The SIMD kernel engine (`ctest -L vec`, test_vec) rides along in all
+# three: ASan/UBSan cover the intrinsics' tail handling and gather index
+# arithmetic (exactly where a lane of out-of-bounds would live), and the
+# Vec* training-matrix suites run under TSan because backend dispatch is a
+# process-global atomic read on every pooled kernel call.
+#
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so they never poison the main build/ directory.
 set -euo pipefail
@@ -49,7 +55,7 @@ for sanitizer in "${sanitizers[@]}"; do
     # race report from being buried.
     TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir "$dir" --output-on-failure \
-        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient|ErSolver|SparseCg|SparseLaplacian|TrainerDurability' -j
+        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient|ErSolver|SparseCg|SparseLaplacian|TrainerDurability|VecTrainingMatrix' -j
   else
     ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
       ctest --test-dir "$dir" --output-on-failure -j

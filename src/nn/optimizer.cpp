@@ -6,6 +6,7 @@
 
 #include "io/crc32.hpp"
 #include "io/error.hpp"
+#include "tensor/vec.hpp"
 #include "util/serialize.hpp"
 
 namespace splpg::nn {
@@ -69,20 +70,16 @@ void Adam::step() {
   ++t_;
   const float bias1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
   const float bias2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  // adam_step is one of the bit-identical-on-every-backend kernels (see
+  // vec.hpp), so checkpoints and resumed runs never depend on SPLPG_VEC.
+  const tensor::VecKernels& kern = tensor::vec_kernels();
   for (std::size_t i = 0; i < parameters_->size(); ++i) {
     auto& p = (*parameters_)[i];
     if (p.grad().empty()) continue;
     const auto grad = p.grad().data();
-    const auto m = m_[i].data();
-    const auto v = v_[i].data();
-    const auto value = p.mutable_value().data();
-    for (std::size_t j = 0; j < grad.size(); ++j) {
-      m[j] = beta1_ * m[j] + (1.0F - beta1_) * grad[j];
-      v[j] = beta2_ * v[j] + (1.0F - beta2_) * grad[j] * grad[j];
-      const float m_hat = m[j] / bias1;
-      const float v_hat = v[j] / bias2;
-      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-    }
+    kern.adam_step_f32(p.mutable_value().data().data(), m_[i].data().data(),
+                       v_[i].data().data(), grad.data(), grad.size(), beta1_, beta2_,
+                       learning_rate_, bias1, bias2, epsilon_);
   }
 }
 

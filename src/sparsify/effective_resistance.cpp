@@ -9,6 +9,7 @@
 
 #include "tensor/cg.hpp"
 #include "tensor/eigen.hpp"
+#include "tensor/vec.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -131,17 +132,21 @@ std::vector<double> jl_effective_resistance(const CsrGraph& graph,
     (void)tensor::pcg_solve(lap, y, z[i], cg, pool);
   });
 
-  // Squared sketch distances. Each edge is owned by one task and sums over
-  // projections in ascending order — bit-identical at every pool width.
+  // Transpose the k solution vectors into one node-major block: each edge's
+  // sketch distance becomes a contiguous sum of squared differences instead
+  // of striding across k separate vectors. Each edge is owned by one task
+  // and the scalar backend sums in ascending projection order — the same
+  // bytes the projection-major loop produced at every pool width.
+  std::vector<double> zt(n * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::vector<double>& zi = z[i];
+    for (std::size_t u = 0; u < n; ++u) zt[u * k + i] = zi[u];
+  }
   std::vector<double> resistance(m);
+  const tensor::VecKernels& kern = tensor::vec_kernels();
   for_each_index(m, pool, [&](std::size_t e) {
     const auto [u, v] = edges[e];
-    double acc = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      const double d = z[i][u] - z[i][v];
-      acc += d * d;
-    }
-    resistance[e] = acc;
+    resistance[e] = kern.ssd_f64(&zt[u * k], &zt[v * k], k);
   });
   return resistance;
 }

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "tensor/parallel.hpp"
+#include "tensor/vec.hpp"
 
 namespace splpg::tensor {
 
@@ -295,13 +296,19 @@ Tensor leaky_relu(const Tensor& a, float negative_slope) {
 }
 
 Tensor sigmoid(const Tensor& a) {
-  return unary_from_output(
-      a,
-      [](float x) {
-        return x >= 0.0F ? 1.0F / (1.0F + std::exp(-x))
-                         : std::exp(x) / (1.0F + std::exp(x));
-      },
-      [](float y) { return y * (1.0F - y); });
+  // Vectorized epilogue instead of unary_from_output's per-element
+  // std::function calls; the scalar backend evaluates the exact historical
+  // stable two-branch formula, and the y*(1-y) backward is bit-identical on
+  // every backend.
+  Matrix out(a.rows(), a.cols());
+  vec_kernels().sigmoid_f32(out.data().data(), a.value().data().data(), out.size());
+  return make_op(std::move(out), {a}, [a](Node& self) {
+    if (!a.requires_grad()) return;
+    Matrix da(self.value.rows(), self.value.cols());
+    vec_kernels().sigmoid_grad_f32(da.data().data(), self.grad.data().data(),
+                                   self.value.data().data(), da.size());
+    a.node_ref().accumulate(da);
+  });
 }
 
 Tensor tanh_op(const Tensor& a) {
@@ -378,7 +385,8 @@ Tensor spmm_edges(const Tensor& a, const Tensor& coef, std::span<const std::uint
   assert(!coef.defined() ||
          (coef.rows() == src_idx.size() && coef.cols() == 1));
   Matrix out(num_dst, a.cols());
-  const std::size_t flops = src_idx.size() * a.cols();
+  const VecKernels& kern = vec_kernels();
+  const std::size_t flops = sat_mul(src_idx.size(), a.cols());
   if (util::ThreadPool* pool = pool_for(flops)) {
     // Edges sharing a dst row conflict, so group edges by dst (stable) and
     // hand each task disjoint output rows; within a row, edges still run in
@@ -390,23 +398,22 @@ Tensor spmm_edges(const Tensor& a, const Tensor& coef, std::span<const std::uint
         const std::uint32_t e = by_dst.edges[i];
         assert(src_idx[e] < a.rows());
         const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
-        const auto src = a.value().row(src_idx[e]);
-        for (std::size_t k = 0; k < src.size(); ++k) dst[k] += c * src[k];
+        kern.axpy_f32(dst.data(), a.value().row(src_idx[e]).data(), c, dst.size());
       }
     });
   } else {
     for (std::size_t e = 0; e < src_idx.size(); ++e) {
       assert(src_idx[e] < a.rows() && dst_idx[e] < num_dst);
       const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
-      const auto src = a.value().row(src_idx[e]);
       const auto dst = out.row(dst_idx[e]);
-      for (std::size_t k = 0; k < src.size(); ++k) dst[k] += c * src[k];
+      kern.axpy_f32(dst.data(), a.value().row(src_idx[e]).data(), c, dst.size());
     }
   }
   auto srcs = std::make_shared<std::vector<std::uint32_t>>(src_idx.begin(), src_idx.end());
   auto dsts = std::make_shared<std::vector<std::uint32_t>>(dst_idx.begin(), dst_idx.end());
   return make_op(std::move(out), {a, coef}, [a, coef, srcs, dsts](Node& self) {
-    const std::size_t grad_flops = srcs->size() * self.grad.cols();
+    const VecKernels& kern = vec_kernels();
+    const std::size_t grad_flops = sat_mul(srcs->size(), self.grad.cols());
     if (a.requires_grad()) {
       Matrix da(a.rows(), a.cols());
       if (util::ThreadPool* pool = pool_for(grad_flops)) {
@@ -418,16 +425,14 @@ Tensor spmm_edges(const Tensor& a, const Tensor& coef, std::span<const std::uint
           for (std::uint32_t i = by_src.offsets[r]; i < by_src.offsets[r + 1]; ++i) {
             const std::uint32_t e = by_src.edges[i];
             const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
-            const auto grad_row = self.grad.row((*dsts)[e]);
-            for (std::size_t k = 0; k < dst.size(); ++k) dst[k] += c * grad_row[k];
+            kern.axpy_f32(dst.data(), self.grad.row((*dsts)[e]).data(), c, dst.size());
           }
         });
       } else {
         for (std::size_t e = 0; e < srcs->size(); ++e) {
           const float c = coef.defined() ? coef.value().at(e, 0) : 1.0F;
-          const auto grad_row = self.grad.row((*dsts)[e]);
           const auto dst = da.row((*srcs)[e]);
-          for (std::size_t k = 0; k < dst.size(); ++k) dst[k] += c * grad_row[k];
+          kern.axpy_f32(dst.data(), self.grad.row((*dsts)[e]).data(), c, dst.size());
         }
       }
       a.node_ref().accumulate(da);
@@ -437,9 +442,7 @@ Tensor spmm_edges(const Tensor& a, const Tensor& coef, std::span<const std::uint
       const auto run_edge = [&](std::size_t e) {
         const auto grad_row = self.grad.row((*dsts)[e]);
         const auto src = a.value().row((*srcs)[e]);
-        float dot = 0.0F;
-        for (std::size_t k = 0; k < src.size(); ++k) dot += grad_row[k] * src[k];
-        dc.at(e, 0) = dot;
+        dc.at(e, 0) = kern.dot_f32(grad_row.data(), src.data(), src.size());
       };
       // Each edge writes its own dc element; no conflicts.
       if (util::ThreadPool* pool = pool_for(grad_flops)) {
@@ -462,12 +465,17 @@ Tensor segment_softmax(const Tensor& scores, std::span<const std::uint32_t> dst_
   for (std::size_t e = 0; e < num_edges; ++e) {
     group_max[dst_idx[e]] = std::max(group_max[dst_idx[e]], scores.value().at(e, 0));
   }
-  std::vector<float> group_sum(num_dst, 0.0F);
-  Matrix out(num_edges, 1);
+  // Shift, then one vectorized exp over the whole edge column; the group
+  // sums still accumulate in ascending e (the serial order).
+  std::vector<float> shifted(num_edges);
   for (std::size_t e = 0; e < num_edges; ++e) {
-    const float z = std::exp(scores.value().at(e, 0) - group_max[dst_idx[e]]);
-    out.at(e, 0) = z;
-    group_sum[dst_idx[e]] += z;
+    shifted[e] = scores.value().at(e, 0) - group_max[dst_idx[e]];
+  }
+  Matrix out(num_edges, 1);
+  vec_kernels().exp_f32(out.data().data(), shifted.data(), num_edges);
+  std::vector<float> group_sum(num_dst, 0.0F);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    group_sum[dst_idx[e]] += out.at(e, 0);
   }
   for (std::size_t e = 0; e < num_edges; ++e) {
     out.at(e, 0) /= group_sum[dst_idx[e]];
@@ -494,12 +502,10 @@ Tensor segment_softmax(const Tensor& scores, std::span<const std::uint32_t> dst_
 Tensor rowwise_dot(const Tensor& a, const Tensor& b) {
   assert(a.rows() == b.rows() && a.cols() == b.cols());
   Matrix out(a.rows(), 1);
+  const VecKernels& kern = vec_kernels();
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const auto ra = a.value().row(r);
-    const auto rb = b.value().row(r);
-    float dot = 0.0F;
-    for (std::size_t c = 0; c < ra.size(); ++c) dot += ra[c] * rb[c];
-    out.at(r, 0) = dot;
+    out.at(r, 0) = kern.dot_f32(ra.data(), b.value().row(r).data(), ra.size());
   }
   return make_op(std::move(out), {a, b}, [a, b](Node& self) {
     if (a.requires_grad()) {
@@ -529,12 +535,10 @@ Tensor bce_with_logits(const Tensor& logits, std::span<const float> labels) {
   assert(logits.cols() == 1 && logits.rows() == labels.size());
   const std::size_t n = labels.size();
   assert(n > 0);
-  double total = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float z = logits.value().at(i, 0);
-    const float y = labels[i];
-    total += std::max(z, 0.0F) - z * y + std::log1p(std::exp(-std::abs(z)));
-  }
+  // The logits column is contiguous (n x 1); terms are summed into a double
+  // accumulator in ascending i on every backend.
+  const double total = vec_kernels().bce_forward_f64(logits.value().data().data(),
+                                                     labels.data(), n);
   Matrix out(1, 1);
   out.at(0, 0) = static_cast<float>(total / static_cast<double>(n));
   auto label_copy = std::make_shared<std::vector<float>>(labels.begin(), labels.end());
@@ -542,12 +546,8 @@ Tensor bce_with_logits(const Tensor& logits, std::span<const float> labels) {
     if (!logits.requires_grad()) return;
     const float seed = self.grad.at(0, 0) / static_cast<float>(n);
     Matrix dl(n, 1);
-    for (std::size_t i = 0; i < n; ++i) {
-      const float z = logits.value().at(i, 0);
-      const float s = z >= 0.0F ? 1.0F / (1.0F + std::exp(-z))
-                                : std::exp(z) / (1.0F + std::exp(z));
-      dl.at(i, 0) = seed * (s - (*label_copy)[i]);
-    }
+    vec_kernels().bce_grad_f32(dl.data().data(), logits.value().data().data(),
+                               label_copy->data(), seed, n);
     logits.node_ref().accumulate(dl);
   });
 }

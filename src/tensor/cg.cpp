@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tensor/parallel.hpp"
+#include "tensor/vec.hpp"
 #include "util/thread_pool.hpp"
 
 namespace splpg::tensor {
@@ -12,9 +13,7 @@ namespace splpg::tensor {
 namespace {
 
 double dot(std::span<const double> a, std::span<const double> b) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return vec_kernels().dot_f64(a.data(), b.data(), a.size());
 }
 
 /// Subtracts the mean, projecting out the all-ones component.
@@ -86,13 +85,14 @@ CgResult pcg_solve(const SparseMatrix& a, std::span<const double> b, std::span<d
       return result;
     }
     const double alpha = rz / p_ap;
-    for (std::size_t i = 0; i < n; ++i) x[i] += alpha * p[i];
-    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
+    const VecKernels& kern = vec_kernels();
+    kern.axpy_f64(x.data(), p.data(), alpha, n);
+    kern.axpy_f64(r.data(), ap.data(), -alpha, n);
     for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
     const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
     rz = rz_next;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    kern.xpby_f64(p.data(), z.data(), beta, n);
     ++result.iterations;
     r_norm = std::sqrt(dot(r, r));
   }

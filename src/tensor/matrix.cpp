@@ -4,17 +4,20 @@
 #include <cmath>
 
 #include "tensor/parallel.hpp"
+#include "tensor/vec.hpp"
 
 namespace splpg::tensor {
 
 void Matrix::add_inplace(const Matrix& other) noexcept {
   assert(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  // axpy with alpha = 1: the product is exact, so this is bit-identical to
+  // the plain += loop on every backend.
+  vec_kernels().axpy_f32(data_.data(), other.data_.data(), 1.0F, data_.size());
 }
 
 void Matrix::axpy_inplace(float alpha, const Matrix& other) noexcept {
   assert(same_shape(other));
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  vec_kernels().axpy_f32(data_.data(), other.data_.data(), alpha, data_.size());
 }
 
 void Matrix::scale_inplace(float alpha) noexcept {
@@ -34,9 +37,20 @@ Matrix Matrix::map(const std::function<float(float)>& fn) const {
 }
 
 Matrix Matrix::transposed() const {
+  // Blocked to keep both the reads and the writes inside a cache-resident
+  // tile: the naive loop strides one of the two matrices by `cols_` floats
+  // per element, which thrashes once a row exceeds the L1. Pure data
+  // movement — bytes are identical to the naive transpose.
+  constexpr std::size_t kBlock = 32;
   Matrix out(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  for (std::size_t rb = 0; rb < rows_; rb += kBlock) {
+    const std::size_t r_end = std::min(rows_, rb + kBlock);
+    for (std::size_t cb = 0; cb < cols_; cb += kBlock) {
+      const std::size_t c_end = std::min(cols_, cb + kBlock);
+      for (std::size_t r = rb; r < r_end; ++r) {
+        for (std::size_t c = cb; c < c_end; ++c) out.at(c, r) = at(r, c);
+      }
+    }
   }
   return out;
 }
@@ -47,18 +61,21 @@ void matmul_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
+  const VecKernels& kern = vec_kernels();
+  // Skipping alpha == 0 exploits activation sparsity but masks NaN/Inf in
+  // the skipped B row (IEEE says 0 * NaN = NaN); see vec.hpp for the flag.
+  const bool skip_zero = kernels_assume_finite();
   const auto run_row = [&](std::size_t i) {
     const auto a_row = a.row(i);
     const auto c_row = c.row(i);
     for (std::size_t p = 0; p < k; ++p) {
       const float alpha = a_row[p];
-      if (alpha == 0.0F) continue;
-      const auto b_row = b.row(p);
-      for (std::size_t j = 0; j < n; ++j) c_row[j] += alpha * b_row[j];
+      if (skip_zero && alpha == 0.0F) continue;
+      kern.axpy_f32(c_row.data(), b.row(p).data(), alpha, n);
     }
   };
   // Each task owns disjoint rows of C; per-row work is untouched.
-  if (util::ThreadPool* pool = pool_for(m * k * n)) {
+  if (util::ThreadPool* pool = pool_for(sat_flops(m, k, n))) {
     pool->parallel_for(0, m, run_row);
   } else {
     for (std::size_t i = 0; i < m; ++i) run_row(i);
@@ -78,19 +95,20 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
-  if (util::ThreadPool* pool = pool_for(m * k * n)) {
+  const VecKernels& kern = vec_kernels();
+  const bool skip_zero = kernels_assume_finite();
+  if (util::ThreadPool* pool = pool_for(sat_flops(m, k, n))) {
     // Row i of A touches EVERY row of C, so the i-loop cannot be split.
     // Parallelize over C rows instead: each task owns disjoint rows p, and
     // for a fixed (p, j) the contributions a(i,p)*b(i,j) still accumulate in
     // ascending i — the exact per-element order of the serial loop below —
-    // so the bytes are identical.
+    // so the bytes are identical (within one backend).
     pool->parallel_for(0, k, [&](std::size_t p) {
       const auto c_row = c.row(p);
       for (std::size_t i = 0; i < m; ++i) {
         const float alpha = a.at(i, p);
-        if (alpha == 0.0F) continue;
-        const auto b_row = b.row(i);
-        for (std::size_t j = 0; j < n; ++j) c_row[j] += alpha * b_row[j];
+        if (skip_zero && alpha == 0.0F) continue;
+        kern.axpy_f32(c_row.data(), b.row(i).data(), alpha, n);
       }
     });
     return;
@@ -100,9 +118,8 @@ void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
     const auto b_row = b.row(i);
     for (std::size_t p = 0; p < k; ++p) {
       const float alpha = a_row[p];
-      if (alpha == 0.0F) continue;
-      const auto c_row = c.row(p);
-      for (std::size_t j = 0; j < n; ++j) c_row[j] += alpha * b_row[j];
+      if (skip_zero && alpha == 0.0F) continue;
+      kern.axpy_f32(c.row(p).data(), b_row.data(), alpha, n);
     }
   }
 }
@@ -120,18 +137,16 @@ void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
+  const VecKernels& kern = vec_kernels();
   const auto run_row = [&](std::size_t i) {
     const auto a_row = a.row(i);
     const auto c_row = c.row(i);
     for (std::size_t j = 0; j < n; ++j) {
-      const auto b_row = b.row(j);
-      float dot = 0.0F;
-      for (std::size_t p = 0; p < k; ++p) dot += a_row[p] * b_row[p];
-      c_row[j] += dot;
+      c_row[j] += kern.dot_f32(a_row.data(), b.row(j).data(), k);
     }
   };
   // Each task owns disjoint rows of C; per-row work is untouched.
-  if (util::ThreadPool* pool = pool_for(m * k * n)) {
+  if (util::ThreadPool* pool = pool_for(sat_flops(m, k, n))) {
     pool->parallel_for(0, m, run_row);
   } else {
     for (std::size_t i = 0; i < m; ++i) run_row(i);

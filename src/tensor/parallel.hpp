@@ -16,12 +16,28 @@
 // affect only scheduling, never results.
 #pragma once
 
+#include <limits>
+
 #include "util/thread_pool.hpp"
 
 namespace splpg::tensor {
 
 /// The calling thread's compute pool (nullptr = run kernels serially).
 [[nodiscard]] util::ThreadPool* compute_pool() noexcept;
+
+/// Saturating product: SIZE_MAX instead of wrapping. The flop gates feed
+/// m*k*n into pool_for; a wrapped product on adversarially large shapes
+/// would land BELOW the threshold and silently de-parallelize exactly the
+/// kernels that need the pool most.
+[[nodiscard]] inline std::size_t sat_mul(std::size_t a, std::size_t b) noexcept {
+  std::size_t out = 0;
+  return __builtin_mul_overflow(a, b, &out) ? std::numeric_limits<std::size_t>::max() : out;
+}
+
+/// Saturating m*k*n for the matmul-family gates.
+[[nodiscard]] inline std::size_t sat_flops(std::size_t m, std::size_t k, std::size_t n) noexcept {
+  return sat_mul(sat_mul(m, k), n);
+}
 
 /// Pooling only pays off once the fan-out cost is amortized; below this many
 /// multiply-adds kernels stay serial. Scheduling-only: results are

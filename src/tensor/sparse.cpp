@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "tensor/vec.hpp"
 #include "util/thread_pool.hpp"
 
 namespace splpg::tensor {
@@ -46,14 +47,13 @@ void SparseMatrix::spmv(std::span<const double> x, std::span<double> y,
   assert(x.size() == cols_);
   assert(y.size() == rows_);
   assert(x.data() != y.data());
+  const VecKernels& kern = vec_kernels();
   auto product_row = [&](std::size_t r) {
     const std::size_t lo = row_offsets_[r];
-    const std::size_t hi = row_offsets_[r + 1];
-    double acc = 0.0;
-    for (std::size_t i = lo; i < hi; ++i) {
-      acc += values_[i] * x[col_indices_[i]];
-    }
-    y[r] = acc;
+    // Gathered dot over one CSR row; each y[r] is produced by exactly one
+    // kernel call, so pooling still never reorders a row's accumulation.
+    y[r] = kern.spmv_row_f64(values_.data() + lo, col_indices_.data() + lo, x.data(),
+                             row_offsets_[r + 1] - lo);
   };
   if (pool != nullptr && rows_ > 1) {
     pool->parallel_for(0, rows_, product_row);

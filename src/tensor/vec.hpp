@@ -1,0 +1,182 @@
+// SIMD kernel engine: compile-time-vectorized implementations of the tensor
+// hot loops with runtime backend dispatch, in the style of ATen's
+// cpu/vec256 / vec512 headers.
+//
+// Each backend (scalar, SSE2, AVX2, AVX-512) is one translation unit compiled
+// with exactly its ISA flags; the rest of the library stays at the baseline
+// architecture, and the running CPU is probed once at startup
+// (__builtin_cpu_supports) to pick the widest compiled-in backend it can
+// execute. `SPLPG_VEC=scalar|sse2|avx2|avx512` pins a backend for testing;
+// `set_vec_backend` does the same programmatically (used by the ULP property
+// tests and bench_kernels to sweep backends in one process).
+//
+// Determinism is a TWO-TIER contract (DESIGN.md "Kernel engine"):
+//  * The scalar backend is bit-identical to the historical scalar kernels —
+//    byte-for-byte, enforced by the pre-existing property suites running
+//    under SPLPG_VEC=scalar.
+//  * Every SIMD backend is a pure function of its inputs — same backend,
+//    same bytes, at every thread count and schedule (kernels never split
+//    work across threads themselves; row/edge decomposition happens above
+//    them and each output element is produced by exactly one kernel call) —
+//    and matches the scalar backend within the documented per-kernel bounds
+//    below.
+//
+// Per-kernel scalar-vs-SIMD bounds (eps = machine epsilon of the element
+// type, k = reduction length):
+//  * axpy/xpby: elementwise; FMA contraction differs from mul+add by at
+//    most 1 ULP per call. Accumulated over a k-deep GEMM update chain the
+//    divergence is <= (k + 2) * eps * sum_p |a_p * b_pj|.
+//  * dot/ssd/spmv_row: lane-partial accumulation reassociates the sum;
+//    |simd - scalar| <= 2 * (k + 2) * eps * sum |terms|.
+//  * exp/sigmoid: Cephes polynomial vs libm — <= 16 ULP elementwise, plus
+//    an absolute floor of 2^-120 (the polynomial clamps instead of
+//    denormal-underflowing at extreme arguments).
+//  * bce_forward: per-term transcendental error as above; terms are summed
+//    in the scalar order (ascending index), so the sum inherits the
+//    elementwise bound: |simd - scalar| <= n * (16 ULP of the largest term
+//    + 1e-7 absolute).
+//  * sigmoid_grad/adam_step: identical operation sequence, no contraction —
+//    bit-identical on EVERY backend.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace splpg::tensor {
+
+enum class VecBackend : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+
+inline constexpr int kNumVecBackends = 4;
+
+/// Function-pointer table for one backend's kernels. All pointers are
+/// non-null in a registered table.
+struct VecKernels {
+  VecBackend backend = VecBackend::kScalar;
+  const char* name = "scalar";
+  std::size_t width_f32 = 1;  ///< float lanes per vector op
+  std::size_t width_f64 = 1;  ///< double lanes per vector op
+
+  // ---- linear float kernels (GEMM / aggregation inner loops) ----
+  /// dst[i] += alpha * src[i]
+  void (*axpy_f32)(float* dst, const float* src, float alpha, std::size_t n);
+  /// sum_i a[i] * b[i]
+  float (*dot_f32)(const float* a, const float* b, std::size_t n);
+
+  // ---- linear double kernels (sparse CSR solvers) ----
+  /// dst[i] += alpha * src[i]
+  void (*axpy_f64)(double* dst, const double* src, double alpha, std::size_t n);
+  /// dst[i] = src[i] + beta * dst[i]
+  void (*xpby_f64)(double* dst, const double* src, double beta, std::size_t n);
+  /// sum_i a[i] * b[i]
+  double (*dot_f64)(const double* a, const double* b, std::size_t n);
+  /// sum_i (a[i] - b[i])^2
+  double (*ssd_f64)(const double* a, const double* b, std::size_t n);
+  /// One CSR row of y = A x: sum_i values[i] * x[cols[i]] (gathered).
+  double (*spmv_row_f64)(const double* values, const std::uint32_t* cols, const double* x,
+                         std::size_t nnz);
+
+  // ---- transcendental epilogues ----
+  /// dst[i] = exp(src[i])
+  void (*exp_f32)(float* dst, const float* src, std::size_t n);
+  /// dst[i] = 1 / (1 + exp(-src[i])), numerically stable on both branches.
+  void (*sigmoid_f32)(float* dst, const float* src, std::size_t n);
+  /// dst[i] = grad[i] * (y[i] * (1 - y[i])) — bit-identical on every backend.
+  void (*sigmoid_grad_f32)(float* dst, const float* grad, const float* y, std::size_t n);
+  /// sum_i max(z,0) - z*y + log1p(exp(-|z|)) accumulated in double,
+  /// ascending i (the scalar order on every backend).
+  double (*bce_forward_f64)(const float* logits, const float* labels, std::size_t n);
+  /// dst[i] = seed * (sigmoid(logits[i]) - labels[i])
+  void (*bce_grad_f32)(float* dst, const float* logits, const float* labels, float seed,
+                       std::size_t n);
+
+  // ---- optimizer ----
+  /// One fused Adam update over n elements. The operation sequence is
+  /// exactly the scalar loop's (no FMA contraction), so every backend is
+  /// bit-identical — checkpoints and resume runs do not depend on SPLPG_VEC.
+  void (*adam_step_f32)(float* value, float* m, float* v, const float* grad, std::size_t n,
+                        float beta1, float beta2, float lr, float bias1, float bias2, float eps);
+};
+
+/// Backend compiled into this binary? (Non-x86 builds carry only scalar;
+/// x86 builds may drop AVX-512 if the compiler cannot target it.)
+[[nodiscard]] bool vec_backend_compiled(VecBackend backend) noexcept;
+
+/// Compiled in AND executable on the running CPU (probed at startup)?
+[[nodiscard]] bool vec_backend_supported(VecBackend backend) noexcept;
+
+/// Widest supported backend — the startup default when SPLPG_VEC is unset.
+[[nodiscard]] VecBackend vec_best_backend() noexcept;
+
+/// The active backend. First call resolves SPLPG_VEC (unknown or
+/// unsupported values warn on stderr and fall back to vec_best_backend()).
+[[nodiscard]] VecBackend vec_active_backend() noexcept;
+
+/// The active backend's kernel table. Kernels in flight keep the table they
+/// captured at entry; see set_vec_backend for switching.
+[[nodiscard]] const VecKernels& vec_kernels() noexcept;
+
+/// Kernel table of a specific SUPPORTED backend (asserts otherwise) —
+/// lets tests/benches compare backends without switching the process.
+[[nodiscard]] const VecKernels& vec_kernels_for(VecBackend backend) noexcept;
+
+/// Switches the active backend; returns false (and changes nothing) if the
+/// backend is not supported here. Not synchronized with kernels already
+/// executing — call between computations (tests, bench sweeps).
+bool set_vec_backend(VecBackend backend) noexcept;
+
+[[nodiscard]] const char* vec_backend_name(VecBackend backend) noexcept;
+
+/// "scalar|sse2|avx2|avx512" -> backend. Returns false on anything else.
+[[nodiscard]] bool parse_vec_backend(std::string_view text, VecBackend& out) noexcept;
+
+// ---------------------------------------------------------------------------
+// IEEE strictness of the GEMM zero-skip.
+//
+// matmul_acc / matmul_tn_acc skip an A-row entry when alpha == 0: for finite
+// B this is exact (c + 0*b == c except for signed-zero flips the skip also
+// avoids), but it masks NaN/Inf in the skipped B row — the IEEE result of
+// 0 * NaN is NaN and would propagate into C. The skip is ON by default
+// (bit-compatible with the historical kernels and with the sparsity the
+// skip exists to exploit); flip it off when NaN poisoning must surface.
+// Process-wide, read with relaxed ordering at kernel entry.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+inline std::atomic<bool> g_kernels_assume_finite{true};
+}  // namespace detail
+
+[[nodiscard]] inline bool kernels_assume_finite() noexcept {
+  return detail::g_kernels_assume_finite.load(std::memory_order_relaxed);
+}
+
+inline void set_kernels_assume_finite(bool value) noexcept {
+  detail::g_kernels_assume_finite.store(value, std::memory_order_relaxed);
+}
+
+/// RAII toggle for kernels_assume_finite (tests, strict-IEEE sections).
+class AssumeFiniteScope {
+ public:
+  explicit AssumeFiniteScope(bool value) noexcept : previous_(kernels_assume_finite()) {
+    set_kernels_assume_finite(value);
+  }
+  ~AssumeFiniteScope() { set_kernels_assume_finite(previous_); }
+
+  AssumeFiniteScope(const AssumeFiniteScope&) = delete;
+  AssumeFiniteScope& operator=(const AssumeFiniteScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+namespace detail {
+// Per-backend table accessors, defined one per TU (vec_<backend>.cpp);
+// nullptr when the backend is not compiled into this binary.
+[[nodiscard]] const VecKernels* vec_table_scalar() noexcept;
+[[nodiscard]] const VecKernels* vec_table_sse2() noexcept;
+[[nodiscard]] const VecKernels* vec_table_avx2() noexcept;
+[[nodiscard]] const VecKernels* vec_table_avx512() noexcept;
+}  // namespace detail
+
+}  // namespace splpg::tensor

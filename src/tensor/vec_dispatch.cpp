@@ -1,0 +1,144 @@
+// Runtime backend dispatch: probes once which compiled-in backends the CPU
+// can execute, resolves SPLPG_VEC on first use, and serves the active
+// kernel table. All state is lock-free atomics; switching backends
+// (set_vec_backend) is only sequenced against kernels that START after the
+// switch — tests and bench sweeps call it between computations.
+
+#include "tensor/vec.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace splpg::tensor {
+namespace {
+
+const VecKernels* table_for(VecBackend backend) noexcept {
+  switch (backend) {
+    case VecBackend::kScalar:
+      return detail::vec_table_scalar();
+    case VecBackend::kSse2:
+      return detail::vec_table_sse2();
+    case VecBackend::kAvx2:
+      return detail::vec_table_avx2();
+    case VecBackend::kAvx512:
+      return detail::vec_table_avx512();
+  }
+  return nullptr;
+}
+
+bool cpu_can_run(VecBackend backend) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (backend) {
+    case VecBackend::kScalar:
+      return true;
+    case VecBackend::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case VecBackend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0 && __builtin_cpu_supports("fma") != 0;
+    case VecBackend::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+  }
+  return false;
+#else
+  return backend == VecBackend::kScalar;
+#endif
+}
+
+VecBackend resolve_default() noexcept {
+  VecBackend best = vec_best_backend();
+  const char* env = std::getenv("SPLPG_VEC");
+  if (env == nullptr || *env == '\0') return best;
+  VecBackend requested = best;
+  if (!parse_vec_backend(env, requested)) {
+    std::fprintf(stderr,
+                 "splpg: SPLPG_VEC=%s is not a backend name "
+                 "(scalar|sse2|avx2|avx512); using %s\n",
+                 env, vec_backend_name(best));
+    return best;
+  }
+  if (!vec_backend_supported(requested)) {
+    std::fprintf(stderr, "splpg: SPLPG_VEC=%s is not supported on this machine; using %s\n", env,
+                 vec_backend_name(best));
+    return best;
+  }
+  return requested;
+}
+
+/// Active table; nullptr until first use (resolve SPLPG_VEC lazily so tests
+/// can setenv before the first kernel call).
+std::atomic<const VecKernels*> g_active{nullptr};
+
+}  // namespace
+
+bool vec_backend_compiled(VecBackend backend) noexcept { return table_for(backend) != nullptr; }
+
+bool vec_backend_supported(VecBackend backend) noexcept {
+  return vec_backend_compiled(backend) && cpu_can_run(backend);
+}
+
+VecBackend vec_best_backend() noexcept {
+  for (VecBackend candidate :
+       {VecBackend::kAvx512, VecBackend::kAvx2, VecBackend::kSse2, VecBackend::kScalar}) {
+    if (vec_backend_supported(candidate)) return candidate;
+  }
+  return VecBackend::kScalar;
+}
+
+const VecKernels& vec_kernels() noexcept {
+  const VecKernels* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = table_for(resolve_default());
+    // Several threads may race the first resolution; they all compute the
+    // same answer, so the winner is irrelevant.
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+VecBackend vec_active_backend() noexcept { return vec_kernels().backend; }
+
+const VecKernels& vec_kernels_for(VecBackend backend) noexcept {
+  const VecKernels* table = table_for(backend);
+  assert(table != nullptr && cpu_can_run(backend));
+  return *table;
+}
+
+bool set_vec_backend(VecBackend backend) noexcept {
+  if (!vec_backend_supported(backend)) return false;
+  g_active.store(table_for(backend), std::memory_order_release);
+  return true;
+}
+
+const char* vec_backend_name(VecBackend backend) noexcept {
+  switch (backend) {
+    case VecBackend::kScalar:
+      return "scalar";
+    case VecBackend::kSse2:
+      return "sse2";
+    case VecBackend::kAvx2:
+      return "avx2";
+    case VecBackend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool parse_vec_backend(std::string_view text, VecBackend& out) noexcept {
+  if (text == "scalar") {
+    out = VecBackend::kScalar;
+  } else if (text == "sse2") {
+    out = VecBackend::kSse2;
+  } else if (text == "avx2") {
+    out = VecBackend::kAvx2;
+  } else if (text == "avx512") {
+    out = VecBackend::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace splpg::tensor

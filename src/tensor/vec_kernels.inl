@@ -1,0 +1,352 @@
+// SIMD-generic kernel bodies for one vector backend. Included (not compiled
+// standalone) by vec_sse2.cpp / vec_avx2.cpp / vec_avx512.cpp AFTER the TU
+// has defined, inside namespace splpg::tensor::SPLPG_VEC_NS:
+//
+//   struct Vecf — fixed-width float vector: kWidth, Mask, load/splat/store,
+//     add/sub/mul/div, fma (may contract), min/max/sqrt/floor,
+//     pow2i (2^n for integral-valued n), frexp (mantissa in [0.5,1) + int
+//     exponent as float), cmp_ge/cmp_lt/cmp_eq, select(mask, a, b),
+//     hsum (FIXED pairwise lane order).
+//   struct Vecd — fixed-width double vector: kWidth, load/splat/store,
+//     add/sub/mul, fma, gather(base, uint32 idx), hsum.
+//
+// and the macros SPLPG_VEC_NS (namespace token), SPLPG_VEC_NAME (display
+// string), SPLPG_VEC_ENUM (VecBackend value).
+//
+// The scalar backend does NOT use this file: its kernels must stay
+// bit-identical to the historical scalar loops (libm exp/log1p, no
+// contraction), so vec_scalar.cpp spells them out directly.
+//
+// Determinism: no kernel here splits work across threads or depends on
+// anything but its arguments, so one backend always produces the same bytes
+// for the same inputs. Remainder elements (n % kWidth) run through the
+// plain scalar expressions — deterministic, though evaluated with libm
+// rather than the polynomial (covered by the same documented ULP bounds).
+//
+// The exp/log polynomials are the classic Cephes single-precision kernels
+// (as used by ATen's vec256 and sse_mathfun), accurate to a few ULP over
+// the clamped range.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace splpg::tensor {
+namespace SPLPG_VEC_NS {
+
+namespace {
+
+// ---- transcendental building blocks ----
+
+inline Vecf vec_expf(Vecf x) {
+  // Clamp: beyond these bounds expf over/underflows; the polynomial would
+  // produce garbage exponents. Clamping floors the result at ~2^-126
+  // instead of a denormal/0 — the documented absolute error floor.
+  x = Vecf::min(x, Vecf::splat(88.3762626647950F));
+  x = Vecf::max(x, Vecf::splat(-87.3365478515625F));
+
+  // n = round(x / ln 2); r = x - n ln 2 via two-part ln 2 for accuracy.
+  Vecf fx = Vecf::floor(Vecf::fma(x, Vecf::splat(1.44269504088896341F), Vecf::splat(0.5F)));
+  x = Vecf::fma(fx, Vecf::splat(-0.693359375F), x);
+  x = Vecf::fma(fx, Vecf::splat(2.12194440e-4F), x);
+
+  const Vecf z = Vecf::mul(x, x);
+  Vecf y = Vecf::splat(1.9875691500e-4F);
+  y = Vecf::fma(y, x, Vecf::splat(1.3981999507e-3F));
+  y = Vecf::fma(y, x, Vecf::splat(8.3334519073e-3F));
+  y = Vecf::fma(y, x, Vecf::splat(4.1665795894e-2F));
+  y = Vecf::fma(y, x, Vecf::splat(1.6666665459e-1F));
+  y = Vecf::fma(y, x, Vecf::splat(5.0000001201e-1F));
+  y = Vecf::fma(y, z, x);
+  y = Vecf::add(y, Vecf::splat(1.0F));
+
+  return Vecf::mul(y, Vecf::pow2i(fx));
+}
+
+/// log(x) for positive finite x (callers pass arguments in (1, 2]).
+inline Vecf vec_logf(Vecf x) {
+  Vecf e;
+  x = Vecf::frexp(x, &e);  // x in [0.5, 1)
+
+  // Normalize to [sqrt(1/2), sqrt(2)): below sqrt(1/2), double the mantissa
+  // and drop the exponent by one.
+  const Vecf::Mask low = Vecf::cmp_lt(x, Vecf::splat(0.707106781186547524F));
+  e = Vecf::sub(e, Vecf::select(low, Vecf::splat(1.0F), Vecf::splat(0.0F)));
+  x = Vecf::add(Vecf::sub(x, Vecf::splat(1.0F)),
+                Vecf::select(low, x, Vecf::splat(0.0F)));
+
+  const Vecf z = Vecf::mul(x, x);
+  Vecf y = Vecf::splat(7.0376836292e-2F);
+  y = Vecf::fma(y, x, Vecf::splat(-1.1514610310e-1F));
+  y = Vecf::fma(y, x, Vecf::splat(1.1676998740e-1F));
+  y = Vecf::fma(y, x, Vecf::splat(-1.2420140846e-1F));
+  y = Vecf::fma(y, x, Vecf::splat(1.4249322787e-1F));
+  y = Vecf::fma(y, x, Vecf::splat(-1.6668057665e-1F));
+  y = Vecf::fma(y, x, Vecf::splat(2.0000714765e-1F));
+  y = Vecf::fma(y, x, Vecf::splat(-2.4999993993e-1F));
+  y = Vecf::fma(y, x, Vecf::splat(3.3333331174e-1F));
+  y = Vecf::mul(Vecf::mul(y, x), z);
+  y = Vecf::fma(e, Vecf::splat(-2.12194440e-4F), y);
+  y = Vecf::fma(z, Vecf::splat(-0.5F), y);
+
+  Vecf r = Vecf::add(x, y);
+  return Vecf::fma(e, Vecf::splat(0.693359375F), r);
+}
+
+/// log(1 + u) for u >= 0, near-full precision even for tiny u: compute
+/// log(1 + u) on the rounded sum and correct by u / d where d is the
+/// increment that actually survived the rounding (d == 0 => limit u).
+inline Vecf vec_log1pf(Vecf u) {
+  const Vecf one = Vecf::splat(1.0F);
+  const Vecf zp1 = Vecf::add(u, one);
+  const Vecf d = Vecf::sub(zp1, one);
+  const Vecf::Mask tiny = Vecf::cmp_eq(d, Vecf::splat(0.0F));
+  const Vecf safe_d = Vecf::select(tiny, one, d);
+  const Vecf r = Vecf::mul(Vecf::div(vec_logf(zp1), safe_d), u);
+  return Vecf::select(tiny, u, r);
+}
+
+/// 1 / (1 + exp(-x)) via the stable two-branch form: both branches share
+/// e = exp(-|x|); numerator is 1 for x >= 0 and e otherwise.
+inline Vecf vec_sigmoidf(Vecf x) {
+  const Vecf one = Vecf::splat(1.0F);
+  const Vecf zero = Vecf::splat(0.0F);
+  const Vecf e = vec_expf(Vecf::min(x, Vecf::sub(zero, x)));
+  const Vecf numer = Vecf::select(Vecf::cmp_ge(x, zero), one, e);
+  return Vecf::div(numer, Vecf::add(one, e));
+}
+
+inline float scalar_sigmoid(float x) {
+  return x >= 0.0F ? 1.0F / (1.0F + std::exp(-x)) : std::exp(x) / (1.0F + std::exp(x));
+}
+
+// ---- kernel table entries ----
+
+void axpy_f32(float* dst, const float* src, float alpha, std::size_t n) {
+  constexpr std::size_t kW = Vecf::kWidth;
+  const Vecf va = Vecf::splat(alpha);
+  std::size_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    Vecf::store(dst + i, Vecf::fma(va, Vecf::load(src + i), Vecf::load(dst + i)));
+    Vecf::store(dst + i + kW,
+                Vecf::fma(va, Vecf::load(src + i + kW), Vecf::load(dst + i + kW)));
+  }
+  for (; i + kW <= n; i += kW) {
+    Vecf::store(dst + i, Vecf::fma(va, Vecf::load(src + i), Vecf::load(dst + i)));
+  }
+  for (; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+float dot_f32(const float* a, const float* b, std::size_t n) {
+  constexpr std::size_t kW = Vecf::kWidth;
+  Vecf acc0 = Vecf::splat(0.0F);
+  Vecf acc1 = Vecf::splat(0.0F);
+  std::size_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    acc0 = Vecf::fma(Vecf::load(a + i), Vecf::load(b + i), acc0);
+    acc1 = Vecf::fma(Vecf::load(a + i + kW), Vecf::load(b + i + kW), acc1);
+  }
+  if (i + kW <= n) {
+    acc0 = Vecf::fma(Vecf::load(a + i), Vecf::load(b + i), acc0);
+    i += kW;
+  }
+  float total = Vecf::hsum(Vecf::add(acc0, acc1));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+void axpy_f64(double* dst, const double* src, double alpha, std::size_t n) {
+  constexpr std::size_t kW = Vecd::kWidth;
+  const Vecd va = Vecd::splat(alpha);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    Vecd::store(dst + i, Vecd::fma(va, Vecd::load(src + i), Vecd::load(dst + i)));
+  }
+  for (; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void xpby_f64(double* dst, const double* src, double beta, std::size_t n) {
+  // mul + add (no contraction): bit-identical to the scalar backend.
+  constexpr std::size_t kW = Vecd::kWidth;
+  const Vecd vb = Vecd::splat(beta);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    Vecd::store(dst + i, Vecd::add(Vecd::load(src + i), Vecd::mul(vb, Vecd::load(dst + i))));
+  }
+  for (; i < n; ++i) dst[i] = src[i] + beta * dst[i];
+}
+
+double dot_f64(const double* a, const double* b, std::size_t n) {
+  constexpr std::size_t kW = Vecd::kWidth;
+  Vecd acc0 = Vecd::splat(0.0);
+  Vecd acc1 = Vecd::splat(0.0);
+  std::size_t i = 0;
+  for (; i + 2 * kW <= n; i += 2 * kW) {
+    acc0 = Vecd::fma(Vecd::load(a + i), Vecd::load(b + i), acc0);
+    acc1 = Vecd::fma(Vecd::load(a + i + kW), Vecd::load(b + i + kW), acc1);
+  }
+  if (i + kW <= n) {
+    acc0 = Vecd::fma(Vecd::load(a + i), Vecd::load(b + i), acc0);
+    i += kW;
+  }
+  double total = Vecd::hsum(Vecd::add(acc0, acc1));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+double ssd_f64(const double* a, const double* b, std::size_t n) {
+  constexpr std::size_t kW = Vecd::kWidth;
+  Vecd acc = Vecd::splat(0.0);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const Vecd d = Vecd::sub(Vecd::load(a + i), Vecd::load(b + i));
+    acc = Vecd::fma(d, d, acc);
+  }
+  double total = Vecd::hsum(acc);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+double spmv_row_f64(const double* values, const std::uint32_t* cols, const double* x,
+                    std::size_t nnz) {
+  constexpr std::size_t kW = Vecd::kWidth;
+  Vecd acc = Vecd::splat(0.0);
+  std::size_t i = 0;
+  for (; i + kW <= nnz; i += kW) {
+    acc = Vecd::fma(Vecd::load(values + i), Vecd::gather(x, cols + i), acc);
+  }
+  double total = Vecd::hsum(acc);
+  for (; i < nnz; ++i) total += values[i] * x[cols[i]];
+  return total;
+}
+
+void exp_f32(float* dst, const float* src, std::size_t n) {
+  constexpr std::size_t kW = Vecf::kWidth;
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) Vecf::store(dst + i, vec_expf(Vecf::load(src + i)));
+  for (; i < n; ++i) dst[i] = std::exp(src[i]);
+}
+
+void sigmoid_f32(float* dst, const float* src, std::size_t n) {
+  constexpr std::size_t kW = Vecf::kWidth;
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) Vecf::store(dst + i, vec_sigmoidf(Vecf::load(src + i)));
+  for (; i < n; ++i) dst[i] = scalar_sigmoid(src[i]);
+}
+
+void sigmoid_grad_f32(float* dst, const float* grad, const float* y, std::size_t n) {
+  // Same operation sequence as the scalar backend (mul, sub, mul — no
+  // contraction): bit-identical on every backend.
+  constexpr std::size_t kW = Vecf::kWidth;
+  const Vecf one = Vecf::splat(1.0F);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const Vecf vy = Vecf::load(y + i);
+    Vecf::store(dst + i,
+                Vecf::mul(Vecf::load(grad + i), Vecf::mul(vy, Vecf::sub(one, vy))));
+  }
+  for (; i < n; ++i) dst[i] = grad[i] * (y[i] * (1.0F - y[i]));
+}
+
+double bce_forward_f64(const float* logits, const float* labels, std::size_t n) {
+  constexpr std::size_t kW = Vecf::kWidth;
+  const Vecf zero = Vecf::splat(0.0F);
+  double total = 0.0;
+  std::size_t i = 0;
+  alignas(64) float terms[kW];
+  for (; i + kW <= n; i += kW) {
+    const Vecf z = Vecf::load(logits + i);
+    const Vecf y = Vecf::load(labels + i);
+    const Vecf base = Vecf::sub(Vecf::max(z, zero), Vecf::mul(z, y));
+    const Vecf u = vec_expf(Vecf::min(z, Vecf::sub(zero, z)));  // exp(-|z|)
+    const Vecf term = Vecf::add(base, vec_log1pf(u));
+    Vecf::store(terms, term);
+    // Accumulate in ascending index — the scalar backend's exact order, so
+    // the sum differs only by the per-term transcendental bound.
+    for (std::size_t j = 0; j < kW; ++j) total += terms[j];
+  }
+  for (; i < n; ++i) {
+    const float z = logits[i];
+    total += std::max(z, 0.0F) - z * labels[i] + std::log1p(std::exp(-std::abs(z)));
+  }
+  return total;
+}
+
+void bce_grad_f32(float* dst, const float* logits, const float* labels, float seed,
+                  std::size_t n) {
+  constexpr std::size_t kW = Vecf::kWidth;
+  const Vecf vseed = Vecf::splat(seed);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const Vecf s = vec_sigmoidf(Vecf::load(logits + i));
+    Vecf::store(dst + i, Vecf::mul(vseed, Vecf::sub(s, Vecf::load(labels + i))));
+  }
+  for (; i < n; ++i) dst[i] = seed * (scalar_sigmoid(logits[i]) - labels[i]);
+}
+
+void adam_step_f32(float* value, float* m, float* v, const float* grad, std::size_t n,
+                   float beta1, float beta2, float lr, float bias1, float bias2, float eps) {
+  // Replicates the scalar update expression-for-expression with plain
+  // mul/add/div/sqrt (every one correctly rounded, no contraction), so the
+  // update is bit-identical on every backend: checkpoints and resume never
+  // depend on SPLPG_VEC.
+  constexpr std::size_t kW = Vecf::kWidth;
+  const Vecf vb1 = Vecf::splat(beta1);
+  const Vecf vb2 = Vecf::splat(beta2);
+  const Vecf vc1 = Vecf::splat(1.0F - beta1);
+  const Vecf vc2 = Vecf::splat(1.0F - beta2);
+  const Vecf vlr = Vecf::splat(lr);
+  const Vecf vbias1 = Vecf::splat(bias1);
+  const Vecf vbias2 = Vecf::splat(bias2);
+  const Vecf veps = Vecf::splat(eps);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const Vecf g = Vecf::load(grad + i);
+    const Vecf vm = Vecf::add(Vecf::mul(vb1, Vecf::load(m + i)), Vecf::mul(vc1, g));
+    const Vecf vv = Vecf::add(Vecf::mul(vb2, Vecf::load(v + i)),
+                              Vecf::mul(Vecf::mul(vc2, g), g));
+    Vecf::store(m + i, vm);
+    Vecf::store(v + i, vv);
+    const Vecf m_hat = Vecf::div(vm, vbias1);
+    const Vecf v_hat = Vecf::div(vv, vbias2);
+    const Vecf step = Vecf::div(Vecf::mul(vlr, m_hat),
+                                Vecf::add(Vecf::sqrt(v_hat), veps));
+    Vecf::store(value + i, Vecf::sub(Vecf::load(value + i), step));
+  }
+  for (; i < n; ++i) {
+    m[i] = beta1 * m[i] + (1.0F - beta1) * grad[i];
+    v[i] = beta2 * v[i] + (1.0F - beta2) * grad[i] * grad[i];
+    const float m_hat = m[i] / bias1;
+    const float v_hat = v[i] / bias2;
+    value[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+}  // namespace
+
+const VecKernels kTable = {
+    SPLPG_VEC_ENUM,
+    SPLPG_VEC_NAME,
+    Vecf::kWidth,
+    Vecd::kWidth,
+    &axpy_f32,
+    &dot_f32,
+    &axpy_f64,
+    &xpby_f64,
+    &dot_f64,
+    &ssd_f64,
+    &spmv_row_f64,
+    &exp_f32,
+    &sigmoid_f32,
+    &sigmoid_grad_f32,
+    &bce_forward_f64,
+    &bce_grad_f32,
+    &adam_step_f32,
+};
+
+}  // namespace SPLPG_VEC_NS
+}  // namespace splpg::tensor

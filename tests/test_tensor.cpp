@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "tensor/eigen.hpp"
 #include "tensor/init.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/parallel.hpp"
+#include "tensor/vec.hpp"
 #include "util/rng.hpp"
 
 namespace splpg::tensor {
@@ -101,6 +104,97 @@ TEST(Matrix, TransposedTwiceIsIdentity) {
   Rng rng(4);
   const Matrix a = random_matrix(3, 7, rng);
   EXPECT_FLOAT_EQ(max_abs_diff(a.transposed().transposed(), a), 0.0F);
+}
+
+TEST(Matrix, BlockedTransposeMatchesNaiveBytes) {
+  // The blocked transpose is pure data movement; its bytes must equal the
+  // naive element-by-element transpose on shapes around and across the
+  // 32-wide block boundary (including degenerate rows/columns).
+  Rng rng(41);
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 1}, {1, 67}, {67, 1}, {31, 33}, {32, 32}, {37, 53}, {64, 65}, {100, 3}};
+  for (const auto& [rows, cols] : shapes) {
+    const Matrix a = random_matrix(rows, cols, rng);
+    Matrix expected(cols, rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) expected.at(c, r) = a.at(r, c);
+    }
+    const Matrix got = a.transposed();
+    ASSERT_EQ(got.rows(), cols);
+    ASSERT_EQ(got.cols(), rows);
+    EXPECT_TRUE(std::equal(got.data().begin(), got.data().end(), expected.data().begin()))
+        << rows << "x" << cols;
+  }
+}
+
+TEST(Matrix, ZeroSkipMasksNanByDefault) {
+  // Historical (and default) behavior: an exact 0 in A skips the whole B
+  // row, so NaN/Inf hiding behind a zero coefficient never reaches C.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Matrix a(1, 2, {0.0F, 1.0F});
+  Matrix b(2, 2, {nan, std::numeric_limits<float>::infinity(), 2.0F, 3.0F});
+  ASSERT_TRUE(kernels_assume_finite());
+  Matrix c(1, 2);
+  matmul_acc(a, b, c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 3.0F);
+
+  // A^T(2x1) * B(1x2): the a(0,0) = 0 coefficient would multiply B's NaN
+  // row into C row 0 — skipped by default.
+  Matrix bt(1, 2, {nan, 3.0F});
+  Matrix ct(2, 2);
+  matmul_tn_acc(a, bt, ct);
+  EXPECT_FLOAT_EQ(ct.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(ct.at(0, 1), 0.0F);
+  EXPECT_TRUE(std::isnan(ct.at(1, 0)));
+  EXPECT_FLOAT_EQ(ct.at(1, 1), 3.0F);
+}
+
+TEST(Matrix, ZeroSkipDisabledPropagatesNan) {
+  // Strict IEEE mode: 0 * NaN = NaN must poison the accumulator.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Matrix a(1, 2, {0.0F, 1.0F});
+  Matrix b(2, 2, {nan, std::numeric_limits<float>::infinity(), 2.0F, 3.0F});
+  AssumeFiniteScope strict(false);
+  Matrix c(1, 2);
+  matmul_acc(a, b, c);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0 * NaN + 1 * 2
+  EXPECT_TRUE(std::isnan(c.at(0, 1)));  // 0 * Inf + 1 * 3 = NaN + 3
+
+  Matrix bt(1, 2, {nan, 3.0F});
+  Matrix ct(2, 2);
+  matmul_tn_acc(a, bt, ct);
+  EXPECT_TRUE(std::isnan(ct.at(0, 0)));  // 0 * NaN
+  EXPECT_FLOAT_EQ(ct.at(0, 1), 0.0F);    // 0 * 3
+}
+
+TEST(Matrix, AssumeFiniteScopeRestoresPreviousValue) {
+  ASSERT_TRUE(kernels_assume_finite());
+  {
+    AssumeFiniteScope strict(false);
+    EXPECT_FALSE(kernels_assume_finite());
+    {
+      AssumeFiniteScope inner(true);
+      EXPECT_TRUE(kernels_assume_finite());
+    }
+    EXPECT_FALSE(kernels_assume_finite());
+  }
+  EXPECT_TRUE(kernels_assume_finite());
+}
+
+TEST(Parallel, SaturatingFlopGateDoesNotWrap) {
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  // (2^22)^3 = 2^66 wraps to 0 in std::size_t — the old gate read these
+  // adversarial shapes as "tiny" and silently de-parallelized.
+  constexpr std::size_t kBig = std::size_t{1} << 22U;
+  EXPECT_EQ(kBig * kBig * kBig, 0U);  // the wrap the fix exists for
+  EXPECT_EQ(sat_flops(kBig, kBig, kBig), kMax);
+  EXPECT_EQ(sat_mul(kMax, 2), kMax);
+  EXPECT_EQ(sat_flops(std::size_t{1} << 32U, std::size_t{1} << 32U, 16), kMax);
+  // Non-overflowing products are exact.
+  EXPECT_EQ(sat_mul(12, 12), 144U);
+  EXPECT_EQ(sat_flops(128, 64, 32), 128U * 64U * 32U);
+  EXPECT_EQ(sat_flops(0, kMax, kMax), 0U);
 }
 
 TEST(Eigen, DiagonalMatrix) {

@@ -1,0 +1,613 @@
+// Kernel-engine tests: backend registry/dispatch, per-backend known-answer
+// checks, randomized scalar-vs-SIMD bound property tests (the documented
+// ULP bounds from vec.hpp), the bit-identical-on-every-backend kernels
+// (adam_step, sigmoid_grad, xpby, alpha=1 axpy), and a per-backend
+// end-to-end training determinism matrix across thread widths {1,2,4,7} x
+// pipeline depths {0,2}.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "data/dataset.hpp"
+#include "sampling/edge_split.hpp"
+#include "tensor/vec.hpp"
+#include "util/rng.hpp"
+
+namespace splpg::tensor {
+namespace {
+
+constexpr VecBackend kAllBackends[] = {VecBackend::kScalar, VecBackend::kSse2,
+                                       VecBackend::kAvx2, VecBackend::kAvx512};
+
+std::vector<VecBackend> supported_backends() {
+  std::vector<VecBackend> out;
+  for (const VecBackend backend : kAllBackends) {
+    if (vec_backend_supported(backend)) out.push_back(backend);
+  }
+  return out;
+}
+
+std::vector<VecBackend> simd_backends() {
+  std::vector<VecBackend> out = supported_backends();
+  out.erase(std::remove(out.begin(), out.end(), VecBackend::kScalar), out.end());
+  return out;
+}
+
+/// Restores the process-wide active backend on scope exit.
+class BackendGuard {
+ public:
+  BackendGuard() : previous_(vec_active_backend()) {}
+  ~BackendGuard() { set_vec_backend(previous_); }
+
+ private:
+  VecBackend previous_;
+};
+
+/// Array sizes straddling every backend's vector width, its 2x-unrolled
+/// stride, and ragged tails — including the {1, 2, 4, 7} widths the
+/// training-level matrix uses as thread counts.
+constexpr std::size_t kSizes[] = {1, 2, 4, 7, 8, 15, 16, 17, 31, 33, 64, 257, 1003};
+
+std::vector<float> random_f32(std::size_t n, util::Rng& rng, float lo, float hi) {
+  std::vector<float> out(n);
+  for (float& x : out) x = lo + (hi - lo) * static_cast<float>(rng.uniform());
+  return out;
+}
+
+std::vector<double> random_f64(std::size_t n, util::Rng& rng, double lo, double hi) {
+  std::vector<double> out(n);
+  for (double& x : out) x = lo + (hi - lo) * rng.uniform();
+  return out;
+}
+
+// ---- registry / dispatch ----
+
+TEST(VecBackendRegistry, ScalarIsAlwaysCompiledAndSupported) {
+  EXPECT_TRUE(vec_backend_compiled(VecBackend::kScalar));
+  EXPECT_TRUE(vec_backend_supported(VecBackend::kScalar));
+  const VecKernels& kern = vec_kernels_for(VecBackend::kScalar);
+  EXPECT_EQ(kern.backend, VecBackend::kScalar);
+  EXPECT_EQ(kern.width_f32, 1U);
+  EXPECT_EQ(kern.width_f64, 1U);
+}
+
+TEST(VecBackendRegistry, NamesRoundTripThroughParse) {
+  for (const VecBackend backend : kAllBackends) {
+    VecBackend parsed = VecBackend::kScalar;
+    ASSERT_TRUE(parse_vec_backend(vec_backend_name(backend), parsed))
+        << vec_backend_name(backend);
+    EXPECT_EQ(parsed, backend);
+  }
+  VecBackend parsed = VecBackend::kScalar;
+  EXPECT_FALSE(parse_vec_backend("", parsed));
+  EXPECT_FALSE(parse_vec_backend("avx", parsed));
+  EXPECT_FALSE(parse_vec_backend("AVX2", parsed));
+  EXPECT_FALSE(parse_vec_backend("neon", parsed));
+}
+
+TEST(VecBackendRegistry, SupportedTablesAreComplete) {
+  for (const VecBackend backend : supported_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    EXPECT_EQ(kern.backend, backend);
+    EXPECT_STREQ(kern.name, vec_backend_name(backend));
+    EXPECT_GE(kern.width_f32, 1U);
+    EXPECT_GE(kern.width_f64, 1U);
+    EXPECT_NE(kern.axpy_f32, nullptr);
+    EXPECT_NE(kern.dot_f32, nullptr);
+    EXPECT_NE(kern.axpy_f64, nullptr);
+    EXPECT_NE(kern.xpby_f64, nullptr);
+    EXPECT_NE(kern.dot_f64, nullptr);
+    EXPECT_NE(kern.ssd_f64, nullptr);
+    EXPECT_NE(kern.spmv_row_f64, nullptr);
+    EXPECT_NE(kern.exp_f32, nullptr);
+    EXPECT_NE(kern.sigmoid_f32, nullptr);
+    EXPECT_NE(kern.sigmoid_grad_f32, nullptr);
+    EXPECT_NE(kern.bce_forward_f64, nullptr);
+    EXPECT_NE(kern.bce_grad_f32, nullptr);
+    EXPECT_NE(kern.adam_step_f32, nullptr);
+  }
+}
+
+TEST(VecBackendRegistry, BestBackendIsSupportedAndWidest) {
+  const VecBackend best = vec_best_backend();
+  EXPECT_TRUE(vec_backend_supported(best));
+  for (const VecBackend backend : supported_backends()) {
+    EXPECT_LE(vec_kernels_for(backend).width_f32, vec_kernels_for(best).width_f32);
+  }
+}
+
+TEST(VecBackendRegistry, SetBackendSwitchesActiveTable) {
+  BackendGuard guard;
+  for (const VecBackend backend : supported_backends()) {
+    ASSERT_TRUE(set_vec_backend(backend));
+    EXPECT_EQ(vec_active_backend(), backend);
+    EXPECT_EQ(vec_kernels().backend, backend);
+  }
+  for (const VecBackend backend : kAllBackends) {
+    if (vec_backend_supported(backend)) continue;
+    const VecBackend before = vec_active_backend();
+    EXPECT_FALSE(set_vec_backend(backend));
+    EXPECT_EQ(vec_active_backend(), before);  // unchanged on failure
+  }
+}
+
+// ---- known-answer tests (exact integer arithmetic: every backend must be
+// exact, not just close) ----
+
+TEST(VecKnownAnswer, AxpyF32) {
+  for (const VecBackend backend : supported_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    std::vector<float> dst(19);
+    std::vector<float> src(19);
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = static_cast<float>(i);
+      src[i] = static_cast<float>(2 * i + 1);
+    }
+    kern.axpy_f32(dst.data(), src.data(), 3.0F, dst.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      EXPECT_EQ(dst[i], static_cast<float>(i + 3 * (2 * i + 1))) << kern.name << " i=" << i;
+    }
+  }
+}
+
+TEST(VecKnownAnswer, DotF32) {
+  for (const VecBackend backend : supported_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    std::vector<float> a(23);
+    std::vector<float> b(23);
+    float expected = 0.0F;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<float>(i % 5) - 2.0F;
+      b[i] = static_cast<float>(i % 7) - 3.0F;
+      expected += a[i] * b[i];
+    }
+    // Small integers: every association of the sum is exact.
+    EXPECT_EQ(kern.dot_f32(a.data(), b.data(), a.size()), expected) << kern.name;
+    EXPECT_EQ(kern.dot_f32(a.data(), b.data(), 0), 0.0F) << kern.name;
+  }
+}
+
+TEST(VecKnownAnswer, DoubleKernels) {
+  for (const VecBackend backend : supported_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    std::vector<double> a(13);
+    std::vector<double> b(13);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<double>(i) - 6.0;
+      b[i] = static_cast<double>(2 * i);
+    }
+    double dot = 0.0;
+    double ssd = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      dot += a[i] * b[i];
+      const double d = a[i] - b[i];
+      ssd += d * d;
+    }
+    EXPECT_EQ(kern.dot_f64(a.data(), b.data(), a.size()), dot) << kern.name;
+    EXPECT_EQ(kern.ssd_f64(a.data(), b.data(), a.size()), ssd) << kern.name;
+
+    std::vector<double> dst = a;
+    kern.axpy_f64(dst.data(), b.data(), 0.5, dst.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) EXPECT_EQ(dst[i], a[i] + 0.5 * b[i]);
+
+    dst = a;
+    kern.xpby_f64(dst.data(), b.data(), 2.0, dst.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) EXPECT_EQ(dst[i], b[i] + 2.0 * a[i]);
+  }
+}
+
+TEST(VecKnownAnswer, SpmvRowGathers) {
+  // x indexed out of order, with repeats — exercises the gather path.
+  const std::vector<double> x{10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0};
+  const std::vector<std::uint32_t> cols{8, 0, 3, 3, 1, 7, 2, 5, 6, 4, 0};
+  std::vector<double> vals(cols.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<double>(i + 1);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < vals.size(); ++i) expected += vals[i] * x[cols[i]];
+  for (const VecBackend backend : supported_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    EXPECT_EQ(kern.spmv_row_f64(vals.data(), cols.data(), x.data(), vals.size()), expected)
+        << kern.name;
+    EXPECT_EQ(kern.spmv_row_f64(vals.data(), cols.data(), x.data(), 0), 0.0) << kern.name;
+  }
+}
+
+TEST(VecKnownAnswer, ExpAndSigmoidFixedPoints) {
+  for (const VecBackend backend : supported_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    // 32 zeros so the vector path (not just the tail) is exercised.
+    std::vector<float> src(32, 0.0F);
+    std::vector<float> dst(32, -1.0F);
+    kern.exp_f32(dst.data(), src.data(), src.size());
+    for (const float y : dst) EXPECT_EQ(y, 1.0F) << kern.name;  // exp(0) exact
+    kern.sigmoid_f32(dst.data(), src.data(), src.size());
+    for (const float y : dst) EXPECT_EQ(y, 0.5F) << kern.name;  // sigmoid(0) exact
+
+    const std::vector<float> extremes(32, 40.0F);
+    kern.sigmoid_f32(dst.data(), extremes.data(), extremes.size());
+    for (const float y : dst) EXPECT_EQ(y, 1.0F) << kern.name;  // saturated high
+    std::vector<float> negated(32, -40.0F);
+    kern.sigmoid_f32(dst.data(), negated.data(), negated.size());
+    for (const float y : dst) {
+      EXPECT_GE(y, 0.0F) << kern.name;
+      EXPECT_LT(y, 1e-15F) << kern.name;  // saturated low, never negative
+    }
+  }
+}
+
+TEST(VecKnownAnswer, BceForwardMatchesClosedForm) {
+  // z = 0, y = 0.5: every term is exactly log(2); n * log(2) within float
+  // rounding of the per-term transcendental.
+  const std::size_t n = 40;
+  const std::vector<float> logits(n, 0.0F);
+  const std::vector<float> labels(n, 0.5F);
+  const double expected = static_cast<double>(n) * std::log(2.0);
+  for (const VecBackend backend : supported_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    EXPECT_NEAR(kern.bce_forward_f64(logits.data(), labels.data(), n), expected, 1e-5)
+        << kern.name;
+  }
+}
+
+// ---- scalar-vs-SIMD bound property tests ----
+
+TEST(VecUlpProperty, DotF32WithinReassociationBound) {
+  const VecKernels& scalar = vec_kernels_for(VecBackend::kScalar);
+  util::Rng rng(101);
+  for (const VecBackend backend : simd_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      for (int round = 0; round < 4; ++round) {
+        const auto a = random_f32(n, rng, -2.0F, 2.0F);
+        const auto b = random_f32(n, rng, -2.0F, 2.0F);
+        double magnitude = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          magnitude += std::abs(static_cast<double>(a[i]) * b[i]);
+        }
+        const double eps = std::numeric_limits<float>::epsilon();
+        const double bound = 2.0 * (static_cast<double>(n) + 2.0) * eps * magnitude + 1e-12;
+        const double got = kern.dot_f32(a.data(), b.data(), n);
+        const double ref = scalar.dot_f32(a.data(), b.data(), n);
+        EXPECT_LE(std::abs(got - ref), bound) << kern.name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(VecUlpProperty, DoubleReductionsWithinReassociationBound) {
+  const VecKernels& scalar = vec_kernels_for(VecBackend::kScalar);
+  util::Rng rng(103);
+  for (const VecBackend backend : simd_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      const auto a = random_f64(n, rng, -3.0, 3.0);
+      const auto b = random_f64(n, rng, -3.0, 3.0);
+      const double eps = std::numeric_limits<double>::epsilon();
+
+      double dot_mag = 0.0;
+      double ssd_mag = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot_mag += std::abs(a[i] * b[i]);
+        ssd_mag += (a[i] - b[i]) * (a[i] - b[i]);
+      }
+      const double k = static_cast<double>(n) + 2.0;
+      EXPECT_LE(std::abs(kern.dot_f64(a.data(), b.data(), n) -
+                         scalar.dot_f64(a.data(), b.data(), n)),
+                2.0 * k * eps * dot_mag + 1e-300)
+          << kern.name << " dot n=" << n;
+      EXPECT_LE(std::abs(kern.ssd_f64(a.data(), b.data(), n) -
+                         scalar.ssd_f64(a.data(), b.data(), n)),
+                2.0 * k * eps * ssd_mag + 1e-300)
+          << kern.name << " ssd n=" << n;
+
+      // spmv row: gather indices into a shared x.
+      std::vector<std::uint32_t> cols(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        cols[i] = static_cast<std::uint32_t>(rng.uniform_u64(n));
+      }
+      double spmv_mag = 0.0;
+      for (std::size_t i = 0; i < n; ++i) spmv_mag += std::abs(a[i] * b[cols[i]]);
+      EXPECT_LE(std::abs(kern.spmv_row_f64(a.data(), cols.data(), b.data(), n) -
+                         scalar.spmv_row_f64(a.data(), cols.data(), b.data(), n)),
+                2.0 * k * eps * spmv_mag + 1e-300)
+          << kern.name << " spmv n=" << n;
+    }
+  }
+}
+
+TEST(VecUlpProperty, ExpF32WithinTranscendentalBound) {
+  const VecKernels& scalar = vec_kernels_for(VecBackend::kScalar);
+  util::Rng rng(107);
+  for (const VecBackend backend : simd_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      // Full finite range including the clamp regions at both ends.
+      auto x = random_f32(n, rng, -95.0F, 85.0F);
+      std::vector<float> got(n);
+      std::vector<float> ref(n);
+      kern.exp_f32(got.data(), x.data(), n);
+      scalar.exp_f32(ref.data(), x.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double diff = std::abs(static_cast<double>(got[i]) - ref[i]);
+        // 16 ULP relative, plus the documented 2^-120 absolute floor where
+        // the polynomial clamps instead of denormal-underflowing.
+        const double bound = 16.0 * std::numeric_limits<float>::epsilon() *
+                                 std::abs(static_cast<double>(ref[i])) +
+                             std::ldexp(1.0, -120);
+        EXPECT_LE(diff, bound) << kern.name << " x=" << x[i];
+        EXPECT_GE(got[i], 0.0F) << kern.name << " x=" << x[i];
+      }
+    }
+  }
+}
+
+TEST(VecUlpProperty, SigmoidF32WithinTranscendentalBound) {
+  const VecKernels& scalar = vec_kernels_for(VecBackend::kScalar);
+  util::Rng rng(109);
+  for (const VecBackend backend : simd_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      auto x = random_f32(n, rng, -60.0F, 60.0F);
+      std::vector<float> got(n);
+      std::vector<float> ref(n);
+      kern.sigmoid_f32(got.data(), x.data(), n);
+      scalar.sigmoid_f32(ref.data(), x.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double bound = 16.0 * std::numeric_limits<float>::epsilon() *
+                                 std::abs(static_cast<double>(ref[i])) +
+                             std::ldexp(1.0, -120);
+        EXPECT_LE(std::abs(static_cast<double>(got[i]) - ref[i]), bound)
+            << kern.name << " x=" << x[i];
+      }
+    }
+  }
+}
+
+TEST(VecUlpProperty, BceForwardWithinSummedBound) {
+  const VecKernels& scalar = vec_kernels_for(VecBackend::kScalar);
+  util::Rng rng(113);
+  for (const VecBackend backend : simd_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      const auto logits = random_f32(n, rng, -30.0F, 30.0F);
+      auto labels = random_f32(n, rng, 0.0F, 1.0F);
+      for (float& y : labels) y = y < 0.5F ? 0.0F : 1.0F;
+      const double got = kern.bce_forward_f64(logits.data(), labels.data(), n);
+      const double ref = scalar.bce_forward_f64(logits.data(), labels.data(), n);
+      double max_term = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        max_term = std::max(max_term, std::abs(static_cast<double>(logits[i])) + 1.0);
+      }
+      // Terms are summed in the same (ascending) order on every backend, so
+      // the sum inherits the per-term transcendental bound.
+      const double bound =
+          static_cast<double>(n) *
+          (16.0 * std::numeric_limits<float>::epsilon() * max_term + 1e-7);
+      EXPECT_LE(std::abs(got - ref), bound) << kern.name << " n=" << n;
+    }
+  }
+}
+
+TEST(VecUlpProperty, BceGradWithinElementwiseBound) {
+  const VecKernels& scalar = vec_kernels_for(VecBackend::kScalar);
+  util::Rng rng(127);
+  for (const VecBackend backend : simd_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    for (const std::size_t n : kSizes) {
+      const auto logits = random_f32(n, rng, -30.0F, 30.0F);
+      const auto labels = random_f32(n, rng, 0.0F, 1.0F);
+      const float seed = 1.0F / 64.0F;
+      std::vector<float> got(n);
+      std::vector<float> ref(n);
+      kern.bce_grad_f32(got.data(), logits.data(), labels.data(), seed, n);
+      scalar.bce_grad_f32(ref.data(), logits.data(), labels.data(), seed, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got[i], ref[i], 1e-6F * std::abs(seed) + 1e-9F)
+            << kern.name << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---- bit-identical-on-every-backend kernels ----
+
+TEST(VecBitIdentity, AdamStepIdenticalOnEveryBackend) {
+  const VecKernels& scalar = vec_kernels_for(VecBackend::kScalar);
+  util::Rng rng(131);
+  for (const std::size_t n : kSizes) {
+    const auto grad = random_f32(n, rng, -1.0F, 1.0F);
+    const auto value0 = random_f32(n, rng, -1.0F, 1.0F);
+    const auto m0 = random_f32(n, rng, -0.1F, 0.1F);
+    const auto v0 = random_f32(n, rng, 0.0F, 0.1F);
+    auto value_ref = value0;
+    auto m_ref = m0;
+    auto v_ref = v0;
+    scalar.adam_step_f32(value_ref.data(), m_ref.data(), v_ref.data(), grad.data(), n, 0.9F,
+                         0.999F, 1e-2F, 0.1F, 0.001F, 1e-8F);
+    for (const VecBackend backend : simd_backends()) {
+      const VecKernels& kern = vec_kernels_for(backend);
+      auto value = value0;
+      auto m = m0;
+      auto v = v0;
+      kern.adam_step_f32(value.data(), m.data(), v.data(), grad.data(), n, 0.9F, 0.999F,
+                         1e-2F, 0.1F, 0.001F, 1e-8F);
+      EXPECT_EQ(0, std::memcmp(value.data(), value_ref.data(), n * sizeof(float)))
+          << kern.name << " n=" << n;
+      EXPECT_EQ(0, std::memcmp(m.data(), m_ref.data(), n * sizeof(float)))
+          << kern.name << " n=" << n;
+      EXPECT_EQ(0, std::memcmp(v.data(), v_ref.data(), n * sizeof(float)))
+          << kern.name << " n=" << n;
+    }
+  }
+}
+
+TEST(VecBitIdentity, SigmoidGradIdenticalOnEveryBackend) {
+  const VecKernels& scalar = vec_kernels_for(VecBackend::kScalar);
+  util::Rng rng(137);
+  for (const std::size_t n : kSizes) {
+    const auto grad = random_f32(n, rng, -2.0F, 2.0F);
+    const auto y = random_f32(n, rng, 0.0F, 1.0F);
+    std::vector<float> ref(n);
+    scalar.sigmoid_grad_f32(ref.data(), grad.data(), y.data(), n);
+    for (const VecBackend backend : simd_backends()) {
+      const VecKernels& kern = vec_kernels_for(backend);
+      std::vector<float> got(n);
+      kern.sigmoid_grad_f32(got.data(), grad.data(), y.data(), n);
+      EXPECT_EQ(0, std::memcmp(got.data(), ref.data(), n * sizeof(float)))
+          << kern.name << " n=" << n;
+    }
+  }
+}
+
+TEST(VecBitIdentity, XpbyAndUnitAxpyIdenticalOnEveryBackend) {
+  const VecKernels& scalar = vec_kernels_for(VecBackend::kScalar);
+  util::Rng rng(139);
+  for (const std::size_t n : kSizes) {
+    const auto src64 = random_f64(n, rng, -2.0, 2.0);
+    const auto dst64 = random_f64(n, rng, -2.0, 2.0);
+    const auto src32 = random_f32(n, rng, -2.0F, 2.0F);
+    const auto dst32 = random_f32(n, rng, -2.0F, 2.0F);
+
+    auto ref64 = dst64;
+    scalar.xpby_f64(ref64.data(), src64.data(), 0.37, n);
+    auto ref32 = dst32;
+    scalar.axpy_f32(ref32.data(), src32.data(), 1.0F, n);
+
+    for (const VecBackend backend : simd_backends()) {
+      const VecKernels& kern = vec_kernels_for(backend);
+      auto got64 = dst64;
+      kern.xpby_f64(got64.data(), src64.data(), 0.37, n);
+      EXPECT_EQ(0, std::memcmp(got64.data(), ref64.data(), n * sizeof(double)))
+          << kern.name << " xpby n=" << n;
+      // alpha = 1 products are exact, so even the FMA backends agree.
+      auto got32 = dst32;
+      kern.axpy_f32(got32.data(), src32.data(), 1.0F, n);
+      EXPECT_EQ(0, std::memcmp(got32.data(), ref32.data(), n * sizeof(float)))
+          << kern.name << " axpy1 n=" << n;
+    }
+  }
+}
+
+TEST(VecBitIdentity, SameBackendIsDeterministicCallToCall) {
+  util::Rng rng(149);
+  const std::size_t n = 257;
+  const auto a = random_f32(n, rng, -5.0F, 5.0F);
+  const auto b = random_f32(n, rng, -5.0F, 5.0F);
+  for (const VecBackend backend : supported_backends()) {
+    const VecKernels& kern = vec_kernels_for(backend);
+    const float dot1 = kern.dot_f32(a.data(), b.data(), n);
+    const float dot2 = kern.dot_f32(a.data(), b.data(), n);
+    EXPECT_EQ(0, std::memcmp(&dot1, &dot2, sizeof(float))) << kern.name;
+    std::vector<float> out1(n);
+    std::vector<float> out2(n);
+    kern.sigmoid_f32(out1.data(), a.data(), n);
+    kern.sigmoid_f32(out2.data(), a.data(), n);
+    EXPECT_EQ(0, std::memcmp(out1.data(), out2.data(), n * sizeof(float))) << kern.name;
+  }
+}
+
+// ---- end-to-end: per-backend training determinism matrix ----
+
+void expect_bitwise_same_training(const core::TrainResult& a, const core::TrainResult& b,
+                                  const std::string& what) {
+  ASSERT_EQ(a.history.size(), b.history.size()) << what;
+  for (std::size_t e = 0; e < a.history.size(); ++e) {
+    EXPECT_EQ(a.history[e].mean_loss, b.history[e].mean_loss) << what << " epoch " << e;
+    EXPECT_EQ(a.history[e].val_hits, b.history[e].val_hits) << what << " epoch " << e;
+  }
+  EXPECT_EQ(a.test_hits, b.test_hits) << what;
+  EXPECT_EQ(a.test_auc, b.test_auc) << what;
+  const auto& pa = a.model->parameters();
+  const auto& pb = b.model->parameters();
+  ASSERT_EQ(pa.size(), pb.size()) << what;
+  for (std::size_t p = 0; p < pa.size(); ++p) {
+    const auto da = pa[p].value().data();
+    const auto db = pb[p].value().data();
+    ASSERT_EQ(da.size(), db.size()) << what;
+    EXPECT_EQ(0, std::memcmp(da.data(), db.data(), da.size() * sizeof(float)))
+        << what << " param " << p;
+  }
+}
+
+/// Same backend + same seed must give the same bytes at EVERY thread width
+/// and pipeline depth — the second tier of the determinism contract, checked
+/// end to end through sampling, GEMM, aggregation, loss, and Adam.
+TEST(VecTrainingMatrix, EveryBackendIsDeterministicAcrossWidthsAndDepths) {
+  BackendGuard guard;
+  const auto dataset = data::make_dataset("cora", 0.08, 5150);
+  util::Rng split_rng = util::Rng(5150).split("split");
+  const auto split = sampling::split_edges(dataset.graph, sampling::SplitOptions{}, split_rng);
+
+  core::TrainConfig base;
+  base.method = core::Method::kSplpg;
+  base.model.hidden_dim = 8;
+  base.model.num_layers = 2;
+  base.epochs = 2;
+  base.batch_size = 32;
+  base.num_partitions = 2;
+  base.max_batches_per_epoch = 2;
+  base.seed = 5150;
+
+  for (const VecBackend backend : supported_backends()) {
+    ASSERT_TRUE(set_vec_backend(backend));
+    const std::string name = vec_backend_name(backend);
+    const core::TrainResult baseline =
+        core::train_link_prediction(split, dataset.features, base);
+    for (const std::size_t threads : {1U, 2U, 4U, 7U}) {
+      for (const std::uint32_t depth : {0U, 2U}) {
+        if (threads == 1 && depth == 0) continue;
+        core::TrainConfig variant = base;
+        variant.worker_threads = threads;
+        variant.pipeline_batches = depth;
+        expect_bitwise_same_training(
+            baseline, core::train_link_prediction(split, dataset.features, variant),
+            name + " threads=" + std::to_string(threads) +
+                " depth=" + std::to_string(depth));
+      }
+    }
+  }
+}
+
+/// Scalar and SIMD runs see the same data and make the same decisions; the
+/// float results may differ only within accumulated kernel bounds. Loose
+/// end-to-end sanity: losses track closely, metrics are sane.
+TEST(VecTrainingMatrix, SimdLossTracksScalarLoss) {
+  BackendGuard guard;
+  const auto dataset = data::make_dataset("citeseer", 0.08, 86);
+  util::Rng split_rng = util::Rng(86).split("split");
+  const auto split = sampling::split_edges(dataset.graph, sampling::SplitOptions{}, split_rng);
+
+  core::TrainConfig config;
+  config.method = core::Method::kCentralized;
+  config.model.hidden_dim = 8;
+  config.model.num_layers = 2;
+  config.epochs = 2;
+  config.batch_size = 32;
+  config.num_partitions = 1;
+  config.max_batches_per_epoch = 2;
+  config.seed = 86;
+
+  ASSERT_TRUE(set_vec_backend(VecBackend::kScalar));
+  const core::TrainResult scalar_run =
+      core::train_link_prediction(split, dataset.features, config);
+  for (const VecBackend backend : simd_backends()) {
+    ASSERT_TRUE(set_vec_backend(backend));
+    const core::TrainResult simd_run =
+        core::train_link_prediction(split, dataset.features, config);
+    ASSERT_EQ(scalar_run.history.size(), simd_run.history.size());
+    for (std::size_t e = 0; e < scalar_run.history.size(); ++e) {
+      EXPECT_NEAR(scalar_run.history[e].mean_loss, simd_run.history[e].mean_loss, 1e-3)
+          << vec_backend_name(backend) << " epoch " << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splpg::tensor

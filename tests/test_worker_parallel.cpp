@@ -14,6 +14,7 @@
 #include "data/dataset.hpp"
 #include "sampling/edge_split.hpp"
 #include "sampling/neighbor_sampler.hpp"
+#include "tensor/vec.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -232,6 +233,37 @@ TEST(WorkerParallelProperty, FullMatrixOnFixedConfig) {
       }
     }
   }
+}
+
+/// The same matrix pinned to the scalar kernel backend — the in-process
+/// equivalent of a `SPLPG_VEC=scalar` run. The width/depth bit-identity
+/// contract must hold on every backend, including the legacy-exact one.
+TEST(WorkerParallelProperty, FullMatrixHoldsOnScalarBackend) {
+  const tensor::VecBackend previous = tensor::vec_active_backend();
+  ASSERT_TRUE(tensor::set_vec_backend(tensor::VecBackend::kScalar));
+
+  const auto dataset = data::make_dataset("citeseer", 0.1, 88);
+  util::Rng split_rng = util::Rng(88).split("split");
+  const auto split = sampling::split_edges(dataset.graph, sampling::SplitOptions{}, split_rng);
+
+  IterationPlan plan;
+  plan.seed = 88;
+  plan.partitions = 2;
+  const TrainConfig base = plan_config(plan);
+  const TrainResult baseline = train_link_prediction(split, dataset.features, base);
+  for (const std::size_t threads : {1U, 2U, 4U, 7U}) {
+    for (const std::uint32_t depth : {0U, 2U}) {
+      if (threads == 1 && depth == 0) continue;
+      TrainConfig variant = base;
+      variant.worker_threads = threads;
+      variant.pipeline_batches = depth;
+      expect_same_result(baseline, train_link_prediction(split, dataset.features, variant),
+                         "scalar threads=" + std::to_string(threads) +
+                             " pipeline=" + std::to_string(depth));
+    }
+  }
+
+  tensor::set_vec_backend(previous);
 }
 
 // ---- pipeline crash semantics ----
