@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 
 #include "util/logging.hpp"
 
@@ -45,6 +46,15 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
                "inject seeded survivable storage faults (ENOSPC, failed rename) "
                "into per-run temp-dir checkpoint writes to exercise the "
                "durability layer; metrics are unchanged");
+  flags.define("comm-hook", "none",
+               "sync-payload compression hook applied inside the collectives: "
+               "none | topk (magnitude top-k with error feedback) | int8 "
+               "(per-tensor symmetric quantization)");
+  flags.define("topk-fraction", 0.01,
+               "fraction of entries the topk hook keeps per tensor, in (0, 1]");
+  flags.define("local-steps", static_cast<std::int64_t>(1),
+               "local-SGD period H: > 1 switches training to local-SGD with H "
+               "local steps between global model-average corrections");
   if (!flags.parse(argc, argv)) return std::nullopt;
 
   Env env;
@@ -78,6 +88,14 @@ std::optional<Env> parse_env(int argc, char** argv, const std::string& descripti
   }
   env.dataset_dir = flags.get_string("dataset");
   env.storage_faults = flags.get_bool("storage-faults");
+  try {
+    env.comm_hook = dist::comm_hook_from_string(flags.get_string("comm-hook"));
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return std::nullopt;
+  }
+  env.topk_fraction = flags.get_double("topk-fraction");
+  env.local_steps = static_cast<std::uint32_t>(flags.get_int("local-steps"));
   const std::string backend = flags.get_string("features");
   if (backend == "mmap") {
     env.feature_backend = io::FeatureBackend::kMmap;
@@ -130,6 +148,12 @@ core::TrainConfig make_config(const Env& env, core::Method method, std::uint32_t
   // faster, so it is the default here; communication accounting (graph data
   // only) is identical under both.
   config.sync = dist::SyncMode::kGradientAveraging;
+  config.comm_hook = env.comm_hook;
+  config.topk_fraction = static_cast<float>(env.topk_fraction);
+  if (env.local_steps > 1) {
+    config.sync = dist::SyncMode::kLocalSgd;
+    config.local_steps = env.local_steps;
+  }
   if (env.storage_faults) {
     // Survivable write faults only (no torn writes — those simulate machine
     // death and are the chaos harness's job): the run self-heals, counting

@@ -13,6 +13,7 @@
 
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
+#include "dist/comm_hook.hpp"
 #include "io/dataset_io.hpp"
 #include "sampling/edge_split.hpp"
 #include "util/flags.hpp"
@@ -44,6 +45,14 @@ struct Env {
   /// (ENOSPC, failed rename). Metrics are unchanged: checkpoint-write
   /// failures are self-healing by contract.
   bool storage_faults = false;
+  /// ---- communication-efficient regime knobs ----
+  /// --comm-hook: gradient/model compression inside the sync collectives
+  /// ("none" | "topk" | "int8"); --topk-fraction: kept fraction for topk;
+  /// --local-steps: H > 1 switches the run to SyncMode::kLocalSgd with H
+  /// local steps between model-average corrections.
+  dist::CommHookKind comm_hook = dist::CommHookKind::kNone;
+  double topk_fraction = 0.01;
+  std::uint32_t local_steps = 1;
 };
 
 struct EnvDefaults {

@@ -11,6 +11,7 @@
 // evaluation. Training on a saved dataset is bit-identical to training on
 // the in-memory original, under both feature-store backends.
 #include <cstdio>
+#include <stdexcept>
 
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
@@ -54,6 +55,15 @@ int main(int argc, char** argv) {
                "resume source: a state_epoch_<e>.bin path, or 'auto' to scan "
                "--checkpoint-dir for the newest checkpoint that validates "
                "(corrupt ones are skipped)");
+  flags.define("comm-hook", "none",
+               "sync-payload compression inside the collectives: none | topk "
+               "(magnitude top-k with error feedback) | int8 (per-tensor "
+               "symmetric quantization); determinism is unaffected");
+  flags.define("topk-fraction", 0.01,
+               "fraction of entries the topk hook keeps per tensor, in (0, 1]");
+  flags.define("local-steps", static_cast<std::int64_t>(1),
+               "local-SGD period H: > 1 takes H local steps between global "
+               "model-average corrections instead of syncing every batch");
   if (!flags.parse(argc, argv)) return 1;
 
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed"));
@@ -113,6 +123,21 @@ int main(int argc, char** argv) {
   config.batch_size = dataset.batch_size;
   config.num_partitions = static_cast<std::uint32_t>(flags.get_int("partitions"));
   config.sync = dist::SyncMode::kGradientAveraging;
+  // Communication-efficient regime knobs: compression hooks run in the
+  // barrier's serial section (bit-deterministic), and --local-steps > 1
+  // trades sync frequency for local progress (local-SGD).
+  try {
+    config.comm_hook = dist::comm_hook_from_string(flags.get_string("comm-hook"));
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+  config.topk_fraction = static_cast<float>(flags.get_double("topk-fraction"));
+  const auto local_steps = static_cast<std::uint32_t>(flags.get_int("local-steps"));
+  if (local_steps > 1) {
+    config.sync = dist::SyncMode::kLocalSgd;
+    config.local_steps = local_steps;
+  }
   config.num_threads = static_cast<std::size_t>(flags.get_int("threads"));
   // --threads above is master-side only; the worker-side hot paths have
   // their own pool + pipeline knobs (every combination is bit-identical).
@@ -143,10 +168,11 @@ int main(int argc, char** argv) {
                   core::to_string(method).c_str(), result.resumed_from_epoch);
     }
     std::printf(
-        "%-12s  Hits@%zu=%.3f  AUC=%.3f  comm/epoch=%.3f MB  sparsify=%.2fs  train=%.1fs\n",
+        "%-12s  Hits@%zu=%.3f  AUC=%.3f  comm/epoch=%.3f MB  sync/epoch=%.3f MB  "
+        "sparsify=%.2fs  train=%.1fs\n",
         core::to_string(method).c_str(), result.eval_k, result.test_hits, result.test_auc,
-        result.comm_gigabytes_per_epoch * 1024.0, result.sparsify_seconds,
-        result.train_seconds);
+        result.comm_gigabytes_per_epoch * 1024.0, result.sync_gigabytes_per_epoch * 1024.0,
+        result.sparsify_seconds, result.train_seconds);
   }
   return 0;
 }

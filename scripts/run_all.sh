@@ -32,9 +32,21 @@ done
 # the seeded scenario count beyond the default 20.
 scripts/run_chaos.sh "${SPLPG_CHAOS_SCENARIOS:-20}" 2>&1 | tee chaos_output.txt
 
+# Communication-efficient regime sweep: compression hooks (top-k, int8) and
+# local-SGD vs dense exact sync, under clean and faulty cluster profiles.
+# Leaves BENCH_comm.json; the exit code enforces that every compressed
+# regime moves strictly fewer sync bytes/epoch than the dense baseline.
+# Runs with its own flag set — override via BENCH_COMM_FLAGS.
+# shellcheck disable=SC2086  # intentional word splitting of the flag string
+build/bench/bench_comm_regimes --json=BENCH_comm.json ${BENCH_COMM_FLAGS:-} \
+  | tee comm_regimes_output.txt
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
+  case "$(basename "$b")" in
+    bench_comm_regimes) continue ;;  # ran above with its own flags
+  esac
   echo "=== $(basename "$b") ===" | tee -a bench_output.txt
   "$b" "$@" 2>/dev/null | tee -a bench_output.txt
 done

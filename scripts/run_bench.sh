@@ -28,6 +28,15 @@
 #                        CPU) throughput of every tensor hot-path kernel plus
 #                        a GEMM composite, with speedup-vs-scalar per kernel.
 #                        Override its flags via BENCH_KERNELS_FLAGS.
+#   BENCH_comm.json      bench_comm_regimes — communication-efficient
+#                        training regimes: sync-payload bytes/epoch, accuracy
+#                        and wall for exact sync vs top-k / int8 gradient
+#                        compression vs local-SGD, each under clean and
+#                        faulty (transient failures + worker crash) cluster
+#                        profiles. The exit code enforces that every
+#                        compressed regime moves strictly fewer sync bytes
+#                        per epoch than dense exact sync. Override its flags
+#                        via BENCH_COMM_FLAGS.
 #
 # The parallelism benchmarks verify that every pooled hot path is
 # bit-identical to its serial counterpart before timing it, and all record
@@ -38,7 +47,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j --target bench_parallel_preprocessing bench_worker_parallel \
-  bench_er_solver bench_kernels
+  bench_er_solver bench_kernels bench_comm_regimes
 
 build/bench/bench_parallel_preprocessing --json=BENCH_parallel.json "$@" \
   | tee bench_parallel_output.txt
@@ -55,5 +64,9 @@ build/bench/bench_er_solver --json=BENCH_er.json ${BENCH_ER_FLAGS:-} \
 build/bench/bench_kernels --json=BENCH_kernels.json ${BENCH_KERNELS_FLAGS:-} \
   | tee bench_kernels_output.txt
 
+# shellcheck disable=SC2086  # intentional word splitting of the flag string
+build/bench/bench_comm_regimes --json=BENCH_comm.json ${BENCH_COMM_FLAGS:-} \
+  | tee bench_comm_output.txt
+
 echo "results written to BENCH_parallel.json, BENCH_worker.json, BENCH_er.json," \
-  "and BENCH_kernels.json"
+  "BENCH_kernels.json, and BENCH_comm.json"

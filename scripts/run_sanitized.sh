@@ -28,6 +28,13 @@
 # Vec* training-matrix suites run under TSan because backend dispatch is a
 # process-global atomic read on every pooled kernel call.
 #
+# The communication-regime suites (`ctest -L comm`, test_comm: CommHook*,
+# CommSync*, CommRegime*) run under TSan too: compression executes in the
+# barrier's serial section while each worker's pipeline producer may be
+# charging the same CommMeter's fetch counters concurrently — the
+# hook-vs-producer meter split and the elastic leave/rejoin-with-residual
+# paths are exactly where a data race would live.
+#
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so they never poison the main build/ directory.
 set -euo pipefail
@@ -55,7 +62,7 @@ for sanitizer in "${sanitizers[@]}"; do
     # race report from being buried.
     TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir "$dir" --output-on-failure \
-        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient|ErSolver|SparseCg|SparseLaplacian|TrainerDurability|VecTrainingMatrix' -j
+        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient|ErSolver|SparseCg|SparseLaplacian|TrainerDurability|VecTrainingMatrix|Comm' -j
   else
     ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
       ctest --test-dir "$dir" --output-on-failure -j

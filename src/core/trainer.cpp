@@ -189,6 +189,10 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
   TrainResult result;
   result.method = config.method;
 
+  if (config.sync == dist::SyncMode::kLocalSgd && config.local_steps == 0) {
+    throw std::invalid_argument("train_link_prediction: local_steps must be >= 1 under kLocalSgd");
+  }
+
   const std::uint32_t num_workers =
       config.method == Method::kCentralized ? 1 : std::max(1U, config.num_partitions);
 
@@ -348,6 +352,22 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
     }
   }
 
+  // ---- master: communication regime ----
+  // The hook is installed AFTER replica registration and any checkpoint
+  // restore: for compressing hooks set_comm_hook snapshots the current
+  // (possibly resumed) parameters as the reference model that compressed
+  // model averaging sends deltas against. A kNone hook is installed too so
+  // the dense baseline's sync payload is metered for regime comparisons —
+  // its collective arithmetic is byte-for-byte the hook-free path.
+  if (num_workers > 1) {
+    dist::CommHookOptions hook_options;
+    hook_options.topk_fraction = config.topk_fraction;
+    context.set_comm_hook(dist::make_comm_hook(config.comm_hook, hook_options, num_workers));
+    for (std::uint32_t w = 0; w < num_workers; ++w) {
+      context.attach_meter(w, &views[w]->meter());
+    }
+  }
+
   // ---- master: checkpointing ----
   // The latest full train state (parameters + optimizer moments + epoch) is
   // kept serialized in memory for crash recovery; on-disk copies are written
@@ -443,6 +463,10 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
         batches.reset(shuffle_rng);
         epoch_loss[w] = 0.0;
         epoch_batches[w] = 0;
+        // Local-SGD: rounds since the last global correction. Every worker
+        // runs the same `rounds` count per epoch, so the counters advance in
+        // lockstep and all workers reach each average_models() together.
+        std::uint32_t steps_since_sync = 0;
 
         // Stage 1 of one round: crash check, batch draw, and batch
         // preparation (with the degraded-batch fallback on permanent fetch
@@ -492,6 +516,11 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
             context.all_reduce_gradients();
           }
           optimizers[w]->step();
+          if (config.sync == dist::SyncMode::kLocalSgd && num_workers > 1 &&
+              ++steps_since_sync >= config.local_steps) {
+            context.average_models();
+            steps_since_sync = 0;
+          }
         };
 
         try {
@@ -547,6 +576,14 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
         if (config.sync == dist::SyncMode::kModelAveraging && num_workers > 1) {
           context.average_models();
         }
+        // Local-SGD catch-up: when the epoch's round count is not a multiple
+        // of H, correct the straggling local steps now so evaluation and
+        // checkpoints below always see the synchronized global model.
+        if (config.sync == dist::SyncMode::kLocalSgd && num_workers > 1 &&
+            steps_since_sync != 0) {
+          context.average_models();
+          steps_since_sync = 0;
+        }
 
         // LLCG: server-side correction on the full graph, then broadcast.
         if (uses_global_correction(config.method)) {
@@ -596,6 +633,7 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
             batches_total += epoch_batches[i];
             const dist::CommStats epoch_comm = views[i]->meter().drain();
             record.comm_gigabytes += epoch_comm.total_gigabytes();
+            record.sync_gigabytes += epoch_comm.sync_gigabytes();
             result.comm += epoch_comm;
             result.per_worker_comm[i] += epoch_comm;
             const dist::FaultStats epoch_fault = views[i]->meter().drain_faults();
@@ -712,6 +750,10 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
       result.history.empty()
           ? 0.0
           : result.comm.total_gigabytes() / static_cast<double>(result.history.size());
+  result.sync_gigabytes_per_epoch =
+      result.history.empty()
+          ? 0.0
+          : result.comm.sync_gigabytes() / static_cast<double>(result.history.size());
   if (storage_injector) {
     const auto storage_stats = storage_injector->stats();
     result.fault.storage_write_faults += storage_stats.write_faults();

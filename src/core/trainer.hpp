@@ -37,6 +37,27 @@ struct TrainConfig {
   std::uint32_t batch_size = 256;
   float learning_rate = 1e-3F;
   dist::SyncMode sync = dist::SyncMode::kModelAveraging;  // baselines' setting
+
+  // ---- communication-efficient regimes ----
+  /// Compression hook applied inside both collectives (gradient all-reduce
+  /// and model averaging), in the barrier's serial section so determinism is
+  /// unaffected. kNone (default) keeps the collective arithmetic
+  /// byte-for-byte identical to the hook-free path and merely meters the
+  /// dense payload; kTopK sends the k largest-magnitude entries per tensor
+  /// with per-worker error feedback; kInt8 sends per-tensor symmetric
+  /// 8-bit quantized payloads. Exact compressed payload bytes land in
+  /// CommStats::sync_bytes per worker.
+  dist::CommHookKind comm_hook = dist::CommHookKind::kNone;
+  /// Fraction of entries kTopK keeps per tensor, in (0, 1]:
+  /// k = clamp(ceil(fraction * n), 1, n).
+  float topk_fraction = 0.01F;
+  /// Local steps H between global corrections under SyncMode::kLocalSgd:
+  /// every worker takes H local optimizer steps, then all replicas are
+  /// model-averaged (plus a catch-up average at the epoch boundary when the
+  /// epoch's round count is not a multiple of H, so evaluation and
+  /// checkpoints always see the corrected global model). Must be >= 1;
+  /// ignored by the other sync modes. H=1 averages after every batch.
+  std::uint32_t local_steps = 1;
   double alpha = 0.15;                       // sparsification level (SpLPG)
   sparsify::SparsifierKind sparsifier = sparsify::SparsifierKind::kEffectiveResistance;
   sampling::NegativeDistribution negative_distribution =
@@ -128,7 +149,8 @@ struct TrainConfig {
 struct EpochRecord {
   std::uint32_t epoch = 0;
   double mean_loss = 0.0;
-  double comm_gigabytes = 0.0;  // summed over workers, this epoch
+  double comm_gigabytes = 0.0;  // graph data (structure + features), this epoch
+  double sync_gigabytes = 0.0;  // compressed synchronization payload, this epoch
   double val_hits = -1.0;       // -1 when not evaluated this epoch
   double test_hits = -1.0;
   double test_auc = -1.0;
@@ -152,9 +174,15 @@ struct TrainResult {
   double test_auc = 0.0;
   std::size_t eval_k = 0;
 
-  // Communication, summed over all workers and epochs.
+  // Communication, summed over all workers and epochs. `comm` carries both
+  // the graph-data metric (total_bytes: structure + features — the paper's
+  // definition) and the synchronization payload (sync_bytes: exact
+  // compressed gradient/model bytes under the configured comm_hook).
   dist::CommStats comm;
   double comm_gigabytes_per_epoch = 0.0;
+  /// sync_bytes normalized by the epochs actually run (early stop aware,
+  /// like comm_gigabytes_per_epoch).
+  double sync_gigabytes_per_epoch = 0.0;
   /// Per-worker totals (same sum as `comm`) — exposes transfer-load
   /// imbalance across workers, which partitioning quality drives.
   std::vector<dist::CommStats> per_worker_comm;

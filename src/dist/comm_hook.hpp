@@ -1,0 +1,97 @@
+// Gradient/model compression hooks for the synchronization collectives.
+//
+// A CommHook is applied inside DistContext::all_reduce_gradients /
+// average_models, in the barrier's *serial section*: exactly one thread
+// compresses every active worker's payload in fixed worker order, so the
+// fixed-order bit-determinism contract of the collectives survives
+// compression unchanged (DESIGN.md "Communication-efficient regimes").
+//
+// Three hooks, in the spirit of torch/distributed/algorithms comm hooks:
+//   kNone  — identity. The collective arithmetic is byte-for-byte the
+//            pre-hook code path; the hook only prices the dense payload.
+//   kTopK  — magnitude top-k sparsification with per-(worker, slot)
+//            error-feedback residual: what a round drops is carried and
+//            re-offered next round, so compressed + residual == input
+//            exactly (bitwise — kept entries are copied, dropped entries
+//            land in the residual untouched).
+//   kInt8  — per-tensor symmetric int8 quantization (scale = amax/127,
+//            round-to-nearest, clamp to [-127, 127]). No residual; the
+//            round-trip error is bounded per entry by amax/254 (plus
+//            float-arithmetic slop ~ amax * 1e-6).
+//
+// Every hook reports the *true serialized payload* its wire format would
+// occupy, metered per sending worker through CommMeter::charge_sync:
+//   kNone:  4 bytes per float value
+//   kTopK:  k * (4-byte index + 4-byte value), k = clamp(ceil(f*n), 1, n)
+//   kInt8:  1 byte per value + 4-byte scale
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace splpg::dist {
+
+enum class CommHookKind { kNone, kTopK, kInt8 };
+
+[[nodiscard]] const char* to_string(CommHookKind kind) noexcept;
+/// "none" | "topk" | "int8" -> kind. Throws std::invalid_argument otherwise.
+[[nodiscard]] CommHookKind comm_hook_from_string(const std::string& text);
+
+struct CommHookOptions {
+  /// Fraction of entries kTopK keeps per tensor: k = clamp(ceil(f*n), 1, n).
+  /// Must be in (0, 1].
+  float topk_fraction = 0.01F;
+};
+
+/// Serial-section-only compression state machine. NOT thread-safe: the
+/// collectives call it from the barrier's serial section exclusively.
+class CommHook {
+ public:
+  virtual ~CommHook() = default;
+  CommHook(const CommHook&) = delete;
+  CommHook& operator=(const CommHook&) = delete;
+
+  [[nodiscard]] CommHookKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const char* name() const noexcept { return to_string(kind_); }
+
+  /// Compresses `worker`'s tensor for parameter slot `slot` and writes the
+  /// receiver-side (decompressed) view into `out` (resized to `in`'s shape).
+  /// Error-feedback hooks fold the carried residual for (worker, slot) into
+  /// the input first and keep what this round drops. Returns the exact
+  /// serialized payload size in bytes (the header formulas above).
+  virtual std::uint64_t compress(std::uint32_t worker, std::size_t slot,
+                                 const tensor::Matrix& in, tensor::Matrix& out) = 0;
+
+  /// Wire-format payload size for a tensor of `in`'s shape, without
+  /// compressing — what `compress` would return. Used to meter the kNone
+  /// path (which bypasses compress to stay bitwise-identical to the
+  /// pre-hook collectives).
+  [[nodiscard]] virtual std::uint64_t payload_bytes(const tensor::Matrix& in) const = 0;
+
+  /// Drops all carried state for `worker` (error-feedback residuals). Called
+  /// when a worker rejoins after a crash: its replica was resynced from the
+  /// corrected global model, so a stale residual would inject garbage.
+  virtual void reset_worker(std::uint32_t /*worker*/) {}
+
+ protected:
+  explicit CommHook(CommHookKind kind) noexcept : kind_(kind) {}
+
+ private:
+  CommHookKind kind_;
+};
+
+/// Builds a hook for `num_workers` senders. Validates options (topk_fraction
+/// in (0, 1]) and throws std::invalid_argument on bad values.
+[[nodiscard]] std::unique_ptr<CommHook> make_comm_hook(CommHookKind kind,
+                                                       const CommHookOptions& options,
+                                                       std::uint32_t num_workers);
+
+/// The k kTopK keeps for an n-entry tensor: clamp(ceil(fraction * n), 1, n).
+/// Exposed so tests/benches can compute expected payload sizes exactly.
+[[nodiscard]] std::size_t topk_keep_count(float fraction, std::size_t n) noexcept;
+
+}  // namespace splpg::dist

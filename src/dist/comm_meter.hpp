@@ -24,12 +24,23 @@ struct CommStats {
   std::uint64_t structure_fetches = 0;  // deduplicated node-adjacency fetches
   std::uint64_t feature_fetches = 0;    // deduplicated feature-row fetches
   std::uint64_t batches = 0;
+  /// Synchronization payload this worker SENT: the exact serialized bytes of
+  /// its per-parameter gradient/model payloads under the active CommHook
+  /// (dense floats for kNone, indices+values for kTopK, bytes+scale for
+  /// kInt8). Broadcast receives are not counted. Kept separate from the
+  /// graph-data metric: total_bytes() stays structure + features (the
+  /// paper's comm-cost definition).
+  std::uint64_t sync_bytes = 0;
+  std::uint64_t sync_messages = 0;  // per-parameter payloads sent
 
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
     return structure_bytes + feature_bytes;
   }
   [[nodiscard]] double total_gigabytes() const noexcept {
     return static_cast<double>(total_bytes()) / (1024.0 * 1024.0 * 1024.0);
+  }
+  [[nodiscard]] double sync_gigabytes() const noexcept {
+    return static_cast<double>(sync_bytes) / (1024.0 * 1024.0 * 1024.0);
   }
 
   CommStats& operator+=(const CommStats& other) noexcept {
@@ -38,6 +49,8 @@ struct CommStats {
     structure_fetches += other.structure_fetches;
     feature_fetches += other.feature_fetches;
     batches += other.batches;
+    sync_bytes += other.sync_bytes;
+    sync_messages += other.sync_messages;
     return *this;
   }
 };
@@ -78,6 +91,17 @@ class CommMeter {
     stats_.feature_bytes += bytes;
     ++stats_.feature_fetches;
     return true;
+  }
+
+  /// Charges one synchronization payload of `bytes` (compressed size under
+  /// the active CommHook). Called from the collectives' barrier serial
+  /// section — which may run concurrently with this worker's pipeline
+  /// producer charging structure/feature fetches, so the hook path must
+  /// touch ONLY the sync fields (distinct members; no shared state with the
+  /// fetch-side counters or the dedup sets).
+  void charge_sync(std::uint64_t bytes) {
+    stats_.sync_bytes += bytes;
+    ++stats_.sync_messages;
   }
 
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }

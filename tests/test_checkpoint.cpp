@@ -83,7 +83,12 @@ TEST(Checkpoint, TruncatedStreamThrows) {
 class CheckpointFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "splpg_checkpoint_file_test";
+    // Per-test-name directory: ctest runs each case as its own process, so a
+    // shared path races one test's TearDown against another's writes.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("splpg_checkpoint_file_" + std::string(::testing::UnitTest::GetInstance()
+                                                       ->current_test_info()
+                                                       ->name()));
     std::filesystem::create_directories(dir_);
     path_ = (dir_ / "model.bin").string();
   }
