@@ -5,18 +5,25 @@
 //   ./example_quickstart --export=/tmp/cora_dir          # save the dataset
 //   ./example_quickstart --dataset=/tmp/cora_dir         # train on it
 //   ./example_quickstart --dataset=/tmp/cora_dir --features=mmap
+//   ./example_quickstart --serve                         # + online serving demo
 //
 // Walks through the full public API: dataset generation (or loading a saved
 // dataset directory), edge splitting, training (centralized and SpLPG), and
 // evaluation. Training on a saved dataset is bit-identical to training on
-// the in-memory original, under both feature-store backends.
+// the in-memory original, under both feature-store backends. With --serve,
+// the centrally trained model is frozen into the online serving layer and
+// queried through the batched, embedding-cached server.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
 #include "core/trainer.hpp"
 #include "data/dataset.hpp"
 #include "io/dataset_io.hpp"
+#include "nn/serving_model.hpp"
 #include "sampling/edge_split.hpp"
+#include "serving/server.hpp"
 #include "util/flags.hpp"
 
 int main(int argc, char** argv) {
@@ -64,6 +71,10 @@ int main(int argc, char** argv) {
   flags.define("local-steps", static_cast<std::int64_t>(1),
                "local-SGD period H: > 1 takes H local steps between global "
                "model-average corrections instead of syncing every batch");
+  flags.define("serve", false,
+               "after training, freeze the centralized model into the online "
+               "serving layer and score the test edges through the batched, "
+               "embedding-cached server (f32 and int8)");
   if (!flags.parse(argc, argv)) return 1;
 
   const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed"));
@@ -157,6 +168,7 @@ int main(int argc, char** argv) {
   // 4. Train centralized (the accuracy reference), then SpLPG. Each method
   //    checkpoints into its own subdirectory so --resume=auto recovers the
   //    matching run instead of the other method's final state.
+  std::shared_ptr<nn::LinkPredictionModel> centralized_model;
   for (const core::Method method : {core::Method::kCentralized, core::Method::kSplpg}) {
     config.method = method;
     if (!checkpoint_root.empty()) {
@@ -173,6 +185,50 @@ int main(int argc, char** argv) {
         core::to_string(method).c_str(), result.eval_k, result.test_hits, result.test_auc,
         result.comm_gigabytes_per_epoch * 1024.0, result.sync_gigabytes_per_epoch * 1024.0,
         result.sparsify_seconds, result.train_seconds);
+    if (method == core::Method::kCentralized) centralized_model = result.model;
+  }
+
+  // 5. Optional: freeze the centralized model into the online serving layer
+  //    and answer link queries through the batched, embedding-cached server.
+  //    Serving uses exact full-neighborhood inference, so every score is a
+  //    pure function of (frozen weights, graph, features, pair) — replies are
+  //    bit-identical whatever the cache size, batching, or client count.
+  if (flags.get_bool("serve") && centralized_model != nullptr) {
+    std::vector<sampling::NodePair> queries;
+    for (const auto& edge : split.test_pos) queries.push_back({edge.u, edge.v});
+
+    const nn::ServingModel frozen(*centralized_model, split.train_graph, dataset.features);
+    serving::ServingServer server(frozen);
+    const auto cold = server.score_pairs(queries);   // cold cache: every miss encodes
+    const auto warm = server.score_pairs(queries);   // warm cache: pure row copies
+    const auto stats = server.cache_stats();
+    float max_delta = 0.0F;
+    for (std::size_t i = 0; i < cold.scores.size(); ++i) {
+      max_delta = std::max(max_delta, std::abs(cold.scores[i] - warm.scores[i]));
+    }
+    std::printf(
+        "serve (f32)   %zu test-edge queries: cache %llu hits / %llu misses, "
+        "cold-vs-warm max |delta| = %g (bit-identical by contract)\n",
+        queries.size(), static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses), max_delta);
+
+    nn::ServingOptions int8_options;
+    int8_options.int8_weights = true;
+    int8_options.int8_embeddings = true;
+    const nn::ServingModel quantized(*centralized_model, split.train_graph,
+                                     dataset.features, int8_options);
+    serving::ServingServer int8_server(quantized);
+    const auto int8_reply = int8_server.score_pairs(queries);
+    float max_int8_delta = 0.0F;
+    for (std::size_t i = 0; i < cold.scores.size(); ++i) {
+      max_int8_delta =
+          std::max(max_int8_delta, std::abs(cold.scores[i] - int8_reply.scores[i]));
+    }
+    std::printf(
+        "serve (int8)  rows %zu -> %zu bytes, weight bound %.2e, "
+        "max |int8 - f32| = %g\n",
+        frozen.row_bytes(), quantized.row_bytes(), quantized.weight_error_bound(),
+        max_int8_delta);
   }
   return 0;
 }

@@ -12,15 +12,17 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
-# Kernel-backend sweep: re-run the vec + worker determinism suites with each
-# SIMD backend pinned via SPLPG_VEC. bench_kernels --probe answers whether a
-# backend is compiled in AND runnable on this CPU, so the sweep sizes itself
-# to the host (avx512 is skipped on machines without it).
+# Kernel-backend sweep: re-run the vec + worker + serving determinism suites
+# with each SIMD backend pinned via SPLPG_VEC (the serving oracle battery
+# proves request scores bit-identical to the zero-fanout Evaluator under
+# every pin). bench_kernels --probe answers whether a backend is compiled in
+# AND runnable on this CPU, so the sweep sizes itself to the host (avx512 is
+# skipped on machines without it).
 : > vec_sweep_output.txt
 for backend in scalar sse2 avx2 avx512; do
   if build/bench/bench_kernels --probe="$backend" >/dev/null 2>&1; then
     echo "=== SPLPG_VEC=$backend ===" | tee -a vec_sweep_output.txt
-    SPLPG_VEC="$backend" ctest --test-dir build -L 'vec|worker' 2>&1 \
+    SPLPG_VEC="$backend" ctest --test-dir build -L 'vec|worker|serving' 2>&1 \
       | tee -a vec_sweep_output.txt
   else
     echo "=== SPLPG_VEC=$backend (unsupported here, skipped) ===" | tee -a vec_sweep_output.txt

@@ -37,6 +37,14 @@
 #                        compressed regime moves strictly fewer sync bytes
 #                        per epoch than dense exact sync. Override its flags
 #                        via BENCH_COMM_FLAGS.
+#   BENCH_serving.json   bench_serving — the online serving layer: p50/p99
+#                        request latency and QPS of the batched
+#                        link-prediction server at 1/4/16 concurrent
+#                        clients, embedding cache disabled vs enabled. The
+#                        exit code enforces the cache regression gate:
+#                        cache-enabled p99 must stay within 2x of the
+#                        uncached p99 at the largest client count. Override
+#                        its flags via BENCH_SERVING_FLAGS.
 #
 # The parallelism benchmarks verify that every pooled hot path is
 # bit-identical to its serial counterpart before timing it, and all record
@@ -47,7 +55,7 @@ cd "$(dirname "$0")/.."
 
 cmake -B build -S . -G Ninja >/dev/null
 cmake --build build -j --target bench_parallel_preprocessing bench_worker_parallel \
-  bench_er_solver bench_kernels bench_comm_regimes
+  bench_er_solver bench_kernels bench_comm_regimes bench_serving
 
 build/bench/bench_parallel_preprocessing --json=BENCH_parallel.json "$@" \
   | tee bench_parallel_output.txt
@@ -68,5 +76,9 @@ build/bench/bench_kernels --json=BENCH_kernels.json ${BENCH_KERNELS_FLAGS:-} \
 build/bench/bench_comm_regimes --json=BENCH_comm.json ${BENCH_COMM_FLAGS:-} \
   | tee bench_comm_output.txt
 
+# shellcheck disable=SC2086  # intentional word splitting of the flag string
+build/bench/bench_serving --json=BENCH_serving.json ${BENCH_SERVING_FLAGS:-} \
+  | tee bench_serving_output.txt
+
 echo "results written to BENCH_parallel.json, BENCH_worker.json, BENCH_er.json," \
-  "BENCH_kernels.json, and BENCH_comm.json"
+  "BENCH_kernels.json, BENCH_comm.json, and BENCH_serving.json"

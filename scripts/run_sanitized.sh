@@ -35,6 +35,14 @@
 # hook-vs-producer meter split and the elastic leave/rejoin-with-residual
 # paths are exactly where a data race would live.
 #
+# The serving suites (`ctest -L serving`, test_serving: EmbeddingCache*,
+# ServingServer*, ServingOracle*, ServingSoak*) run under TSan as well:
+# client threads block in submit()'s bounded-queue backpressure while the
+# scorer thread drains batches and a chaos thread clears the shared
+# EmbeddingCache mid-flight — the cache's single-mutex protocol, the
+# promise/future handoff, and the drain-shutdown close are exactly where a
+# lost wakeup or data race would live.
+#
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so they never poison the main build/ directory.
 set -euo pipefail
@@ -62,7 +70,7 @@ for sanitizer in "${sanitizers[@]}"; do
     # race report from being buried.
     TSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir "$dir" --output-on-failure \
-        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient|ErSolver|SparseCg|SparseLaplacian|TrainerDurability|VecTrainingMatrix|Comm' -j
+        -R 'Barrier|Sync|Trainer|Integration|WorkerView|ThreadPool|Sparsifier|Evaluator|PooledKernels|IoDifferentialTraining|ResumeTest|WorkerParallel|WorkerPipeline|PooledGradient|ErSolver|SparseCg|SparseLaplacian|TrainerDurability|VecTrainingMatrix|Comm|EmbeddingCache|ServingServer|ServingOracle|ServingSoak|BoundedQueue' -j
   else
     ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
       ctest --test-dir "$dir" --output-on-failure -j

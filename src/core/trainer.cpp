@@ -20,6 +20,7 @@
 #include "sampling/neighbor_sampler.hpp"
 #include "sparsify/sparsifier.hpp"
 #include "tensor/parallel.hpp"
+#include "util/bounded_queue.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -122,51 +123,11 @@ struct PipelineItem {
   std::exception_ptr error;     // a real producer failure
 };
 
-/// Bounded single-producer/single-consumer queue for pipeline hand-off.
-/// Capacity caps how far the producer can run ahead (memory bound). cancel()
-/// unblocks a producer stuck in push() when the consumer dies early.
-class BoundedQueue {
- public:
-  explicit BoundedQueue(std::size_t capacity)
-      : capacity_(std::max<std::size_t>(1, capacity)) {}
-
-  /// Blocks while full. Returns false (dropping the item) if cancelled.
-  bool push(PipelineItem item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return cancelled_ || items_.size() < capacity_; });
-    if (cancelled_) return false;
-    items_.push(std::move(item));
-    not_empty_.notify_one();
-    return true;
-  }
-
-  /// Blocks while empty. The consumer pops at most as many items as the
-  /// producer pushes, so this never waits on a finished producer.
-  PipelineItem pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty(); });
-    PipelineItem item = std::move(items_.front());
-    items_.pop();
-    not_full_.notify_one();
-    return item;
-  }
-
-  void cancel() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      cancelled_ = true;
-    }
-    not_full_.notify_all();
-  }
-
- private:
-  std::size_t capacity_;
-  std::queue<PipelineItem> items_;
-  std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  bool cancelled_ = false;
-};
+/// Bounded queue for pipeline hand-off (util::BoundedQueue, shared with the
+/// serving request queue). Capacity caps how far the producer can run ahead
+/// (memory bound); cancel() unblocks a producer stuck in push() when the
+/// consumer dies early.
+using BoundedQueue = util::BoundedQueue<PipelineItem>;
 
 /// Joins the epoch's producer thread on every exit path (normal, injected
 /// crash, real error) so it never outlives the queue or the epoch state it
@@ -549,7 +510,10 @@ TrainResult train_link_prediction(const sampling::LinkSplit& split,
             });
             const ProducerGuard guard{queue, producer};
             for (std::uint32_t round = 0; round < rounds; ++round) {
-              consume_round(queue.pop());
+              // The consumer pops at most as many items as the producer
+              // pushes (it stops at a crash/error marker), so pop() never
+              // drains a finished producer dry: value() always holds.
+              consume_round(std::move(queue.pop().value()));
             }
           } else {
             for (std::uint32_t round = 0; round < rounds; ++round) {

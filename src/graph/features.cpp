@@ -1,16 +1,24 @@
 #include "graph/features.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace splpg::graph {
 
 FeatureStore FeatureStore::gather(std::span<const NodeId> nodes) const {
   FeatureStore out(static_cast<NodeId>(nodes.size()), dim_);
+  if (!nodes.empty()) gather_into(nodes, out.mutable_data());
+  return out;
+}
+
+void FeatureStore::gather_into(std::span<const NodeId> nodes, std::span<float> out) const {
+  if (out.size() != nodes.size() * dim_) {
+    throw std::invalid_argument("FeatureStore::gather_into: output size mismatch");
+  }
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const auto src = row(nodes[i]);
-    std::copy(src.begin(), src.end(), out.row(static_cast<NodeId>(i)).begin());
+    std::copy(src.begin(), src.end(), out.begin() + static_cast<std::ptrdiff_t>(i * dim_));
   }
-  return out;
 }
 
 }  // namespace splpg::graph

@@ -70,6 +70,14 @@ class FeatureStore {
 
   [[nodiscard]] std::span<const float> data() const noexcept { return {raw(), size()}; }
 
+  /// Whole-store mutable access (throws on a read-only view, like row()).
+  [[nodiscard]] std::span<float> mutable_data() {
+    if (is_view()) {
+      throw std::logic_error("FeatureStore: mutable access to a read-only view");
+    }
+    return data_;
+  }
+
   /// Bytes to transmit one node's feature row.
   [[nodiscard]] std::uint64_t feature_bytes() const noexcept {
     return static_cast<std::uint64_t>(dim_) * sizeof(float);
@@ -79,6 +87,12 @@ class FeatureStore {
   /// materializing a partition's local feature matrix X^i). The result always
   /// owns its rows, regardless of this store's backing.
   [[nodiscard]] FeatureStore gather(std::span<const NodeId> nodes) const;
+
+  /// Gathers rows for `nodes` into caller-owned row-major storage of
+  /// `nodes.size() * dim()` floats — the allocation-free fetch the serving
+  /// hot path and the model's per-batch input gather use. Bytes are
+  /// identical to gather()'s regardless of this store's backing.
+  void gather_into(std::span<const NodeId> nodes, std::span<float> out) const;
 
  private:
   [[nodiscard]] const float* raw() const noexcept {

@@ -46,10 +46,7 @@ Tensor LinkPredictionModel::encode(const ComputationGraph& cg,
                                    const graph::FeatureStore& features) const {
   const auto inputs = cg.input_nodes();
   Matrix input_features(inputs.size(), features.dim());
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    const auto src = features.row(inputs[i]);
-    std::copy(src.begin(), src.end(), input_features.row(i).begin());
-  }
+  features.gather_into(inputs, input_features.data());
   return encode(cg, std::move(input_features));
 }
 
